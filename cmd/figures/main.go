@@ -1,0 +1,74 @@
+// Command figures regenerates the paper's evaluation tables and
+// figures. With no arguments it runs everything; otherwise pass any of
+// table2, fig6, fig7, fig8, fig9a, fig9b, fig10a, fig10b, fig11.
+//
+//	figures -seeds 3 -sim 300s -csv out/ fig6 fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ewmac/internal/figures"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seeds   = flag.Int("seeds", 3, "seeds averaged per data point")
+		simTime = flag.Duration("sim", 300*time.Second, "simulated time per run")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	opts := figures.Options{SimTime: *simTime}
+	for s := int64(1); s <= int64(*seeds); s++ {
+		opts.Seeds = append(opts.Seeds, s)
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToLower(a)] = true
+	}
+	all := len(want) == 0
+
+	if all || want["table2"] {
+		fmt.Println(figures.Table2())
+	}
+	for _, fg := range figures.All() {
+		if !all && !want[fg.ID] {
+			continue
+		}
+		start := time.Now()
+		t, err := fg.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", fg.ID, err)
+			return 1
+		}
+		fmt.Println(t.Render())
+		fmt.Fprintf(os.Stderr, "  (%s took %v)\n", fg.ID, time.Since(start).Truncate(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				return 1
+			}
+			path := filepath.Join(*csvDir, fg.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				return 1
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,130 @@
+// Command uansim runs one UASN MAC simulation scenario and prints its
+// metric summary.
+//
+//	uansim -proto ewmac -nodes 60 -load 0.6 -sim 300s -seed 1
+//	uansim -proto all -load 0.8          # compare the four protocols
+//	uansim -proto ewmac -trace run.jsonl # per-frame channel trace
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ewmac"
+	"ewmac/internal/experiment"
+	"ewmac/internal/packet"
+)
+
+// traceEvent is one frame delivery in the JSONL trace.
+type traceEvent struct {
+	AtSec    float64 `json:"at"`
+	Src      uint16  `json:"src"`
+	Dst      uint16  `json:"dst"`
+	Kind     string  `json:"kind"`
+	Seq      uint32  `json:"seq"`
+	Bits     int     `json:"bits"`
+	DelaySec float64 `json:"delay"`
+	LevelDB  float64 `json:"level_db"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		proto   = flag.String("proto", "ewmac", "protocol: ewmac, sfama, ropa, csmac, or all")
+		nodes   = flag.Int("nodes", 60, "number of sensing nodes")
+		sinks   = flag.Int("sinks", 4, "number of surface sinks")
+		load    = flag.Float64("load", 0.5, "network-wide offered load in kbps")
+		bits    = flag.Int("bits", 2048, "data packet payload in bits (1024-4096)")
+		side    = flag.Float64("side", 1000, "deployment cube side in meters")
+		mobile  = flag.Float64("mobile", 0.5, "fraction of drifting sensors")
+		simTime = flag.Duration("sim", 300*time.Second, "simulated time")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "print extended counters")
+		trace   = flag.String("trace", "", "write a JSONL channel trace to this file (single protocol only)")
+	)
+	flag.Parse()
+
+	var protos []ewmac.Protocol
+	if *proto == "all" {
+		protos = ewmac.Protocols
+	} else {
+		protos = []ewmac.Protocol{ewmac.Protocol(*proto)}
+	}
+
+	fmt.Printf("%-8s %10s %8s %10s %9s %12s %9s\n",
+		"protocol", "thr(kbps)", "deliv%", "exec(s)", "pow(mW)", "overhead(b)", "colls")
+	for _, p := range protos {
+		cfg := ewmac.DefaultConfig(p)
+		cfg.Nodes = *nodes
+		cfg.Sinks = *sinks
+		cfg.OfferedLoadKbps = *load
+		cfg.DataBits = *bits
+		cfg.RegionSide = *side
+		cfg.MobileFraction = *mobile
+		cfg.SimTime = *simTime
+		cfg.Seed = *seed
+		var closeTrace func() error
+		if *trace != "" && len(protos) == 1 {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+				return 1
+			}
+			w := bufio.NewWriter(f)
+			enc := json.NewEncoder(w)
+			cfg.Instrument = &experiment.Instrumentation{
+				Trace: func(src, dst packet.NodeID, fr *packet.Frame, delay time.Duration, level float64) {
+					_ = enc.Encode(traceEvent{
+						AtSec:    fr.Timestamp.Seconds(),
+						Src:      uint16(src),
+						Dst:      uint16(dst),
+						Kind:     fr.Kind.String(),
+						Seq:      fr.Seq,
+						Bits:     fr.Bits(),
+						DelaySec: delay.Seconds(),
+						LevelDB:  level,
+					})
+				},
+			}
+			closeTrace = func() error {
+				if err := w.Flush(); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+		}
+		res, err := ewmac.Run(cfg)
+		if closeTrace != nil {
+			if cerr := closeTrace(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "uansim: trace: %v\n", cerr)
+				return 1
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 1
+		}
+		s := res.Summary
+		fmt.Printf("%-8s %10.4f %8.1f %10.2f %9.1f %12d %9d\n",
+			p.DisplayName(), s.ThroughputKbps, 100*s.DeliveryRatio,
+			s.ExecutionTime.Seconds(), s.MeanPowerMW, s.OverheadBits, s.PHY.Collisions)
+		if *verbose {
+			fmt.Printf("  generated=%d delivered=%d (extra=%d) acked=%d rts=%d cts=%d retrans=%d\n",
+				s.MAC.Generated, s.MAC.DeliveredPackets, s.MAC.ExtraDeliveredPackets,
+				s.MAC.AckedPackets, s.MAC.RTSSent, s.MAC.CTSSent, s.MAC.Retransmissions)
+			fmt.Printf("  extra: attempts=%d grants=%d completions=%d\n",
+				s.MAC.ExtraAttempts, s.MAC.ExtraGrants, s.MAC.ExtraCompletions)
+			fmt.Printf("  topology: mean degree=%.1f max pair delay=%v\n",
+				res.MeanDegree, res.MaxPairDelay.Truncate(time.Millisecond))
+			fmt.Printf("  fairness (Jain): %.3f\n", s.Fairness)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package ewmac_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ewmac"
+)
+
+func quickConfig(p ewmac.Protocol) ewmac.Config {
+	cfg := ewmac.DefaultConfig(p)
+	cfg.SimTime = 90 * time.Second
+	return cfg
+}
+
+func TestPublicAPIRun(t *testing.T) {
+	for _, p := range ewmac.Protocols {
+		res, err := ewmac.Run(quickConfig(p))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Summary.ThroughputKbps <= 0 {
+			t.Errorf("%s: no throughput", p)
+		}
+		if res.Summary.Nodes != 64 {
+			t.Errorf("%s: %d nodes, want 60+4", p, res.Summary.Nodes)
+		}
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	cfg := ewmac.DefaultConfig(ewmac.EWMAC)
+	if cfg.Nodes != 60 || cfg.DataBits != 2048 || cfg.SimTime != 300*time.Second {
+		t.Errorf("DefaultConfig diverged from Table 2: %+v", cfg)
+	}
+	if got := ewmac.EWMAC.DisplayName(); got != "EW-MAC" {
+		t.Errorf("DisplayName = %q", got)
+	}
+	if len(ewmac.Protocols) != 4 {
+		t.Errorf("Protocols = %v", ewmac.Protocols)
+	}
+}
+
+func TestPublicAPIRunMeanAndRatios(t *testing.T) {
+	base, err := ewmac.RunMean(quickConfig(ewmac.SFAMA), []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ewmac.RunMean(quickConfig(ewmac.EWMAC), []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ewmac.OverheadRatio(s, base); r <= 1 {
+		t.Errorf("EW-MAC overhead ratio %v, want > 1 (it pays for the exploit)", r)
+	}
+	if e := ewmac.EfficiencyIndex(base, base); e != 1 {
+		t.Errorf("baseline efficiency index = %v, want 1", e)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	out := ewmac.Table2()
+	if !strings.Contains(out, "Simulation parameters") {
+		t.Errorf("Table2 output unexpected:\n%s", out)
+	}
+}
+
+func TestDeterministicPublicRuns(t *testing.T) {
+	a, err := ewmac.Run(quickConfig(ewmac.EWMAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ewmac.Run(quickConfig(ewmac.EWMAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary.MAC != b.Summary.MAC {
+		t.Error("identical configs produced different results")
+	}
+}

@@ -1,0 +1,53 @@
+// Deepwater: the substrate beyond Table 2. A 2.5 km-deep column with
+// the canonical Munk sound-speed profile and two-ray surface
+// reflection, where packets need several hops to reach the surface
+// sinks. Shows the acoustic model, routing, and MAC working together
+// outside the paper's shallow 1 km cube, and compares EW-MAC against
+// S-FAMA on delivery and latency in that harsher environment.
+//
+//	go run ./examples/deepwater
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+)
+
+import (
+	"ewmac"
+	"ewmac/internal/acoustic"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	model := acoustic.DefaultModel()
+	model.Profile = acoustic.CanonicalMunk()
+	model.SurfaceReflection = true
+	model.WindMS = 10 // rough seas: more ambient noise
+
+	fmt.Println("Deep-water column: 2.5 km deep, Munk profile, surface echoes")
+	fmt.Printf("%-8s %10s %8s %10s %10s\n", "protocol", "thr(kbps)", "deliv%", "exec(s)", "max τ(s)")
+	for _, p := range []ewmac.Protocol{ewmac.SFAMA, ewmac.EWMAC} {
+		cfg := ewmac.DefaultConfig(p)
+		cfg.RegionSide = 2500 // deep column: multi-hop to the surface
+		cfg.Nodes = 80
+		cfg.Sinks = 9
+		cfg.OfferedLoadKbps = 0.4
+		cfg.SimTime = 240 * time.Second
+		cfg.Model = model
+		res, err := ewmac.Run(cfg)
+		if err != nil {
+			log.Fatalf("deepwater: %v", err)
+		}
+		s := res.Summary
+		fmt.Printf("%-8s %10.3f %8.0f %10.1f %10.1f\n",
+			p.DisplayName(), s.ThroughputKbps, 100*s.DeliveryRatio,
+			s.ExecutionTime.Seconds(), res.MaxPairDelay.Seconds())
+	}
+	fmt.Println()
+	fmt.Println("In deep water the pairwise delays stretch toward the slot's")
+	fmt.Println("τmax guard time — exactly the regime where waiting windows")
+	fmt.Println("are largest and EW-MAC's extra communications pay off most.")
+}

@@ -1,0 +1,3 @@
+module ewmac
+
+go 1.22

@@ -1,0 +1,91 @@
+// Package analysis provides closed-form performance bounds for the
+// slotted protocols, the analytical companion to the paper's §5. The
+// bounds serve two purposes: experiment sanity (simulated throughput
+// must never exceed the channel's handshake ceiling) and scoping (how
+// much of the ceiling each protocol's measured throughput captures).
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+)
+
+// HandshakeSlots returns the number of slots one complete four-way
+// exchange occupies: RTS + CTS + data slots per Equation (5) + Ack.
+func HandshakeSlots(s mac.SlotConfig, dataBits int, tau time.Duration, bitRate float64) int64 {
+	dataTx := packet.Duration(packet.DataHeaderBits+dataBits, bitRate)
+	return 2 + s.DataSlots(dataTx, tau) + 1
+}
+
+// SerializedCeilingKbps returns the throughput of a perfectly
+// scheduled, fully serialized slotted channel: one handshake after
+// another with zero contention loss. No slotted protocol without
+// parallel exchanges can beat this; S-FAMA approaches it from below.
+func SerializedCeilingKbps(s mac.SlotConfig, dataBits int, tau time.Duration, bitRate float64) float64 {
+	cycle := time.Duration(HandshakeSlots(s, dataBits, tau, bitRate)) * s.Len()
+	if cycle <= 0 {
+		return 0
+	}
+	return float64(dataBits) / cycle.Seconds() / 1000
+}
+
+// ExtraFitsWindow reports whether one extra data packet can be
+// appended to a handshake per the paper's §4.2: the EXData must fit in
+// the waiting resources bounded by the pair's propagation delay — the
+// CS-MAC gap condition (TD < τ) is the tightest of the period
+// constraints of Figure 2.
+func ExtraFitsWindow(dataBits int, tau time.Duration, bitRate float64) bool {
+	dataTx := packet.Duration(packet.DataHeaderBits+dataBits, bitRate)
+	return dataTx < tau
+}
+
+// ExploitCeilingKbps bounds a waiting-resource protocol (EW-MAC,
+// CS-MAC): at most one extra data packet rides on each primary
+// handshake, and only when it fits the waiting window.
+func ExploitCeilingKbps(s mac.SlotConfig, dataBits int, tau time.Duration, bitRate float64) float64 {
+	base := SerializedCeilingKbps(s, dataBits, tau, bitRate)
+	if ExtraFitsWindow(dataBits, tau, bitRate) {
+		return 2 * base
+	}
+	return base
+}
+
+// ContentionEfficiency is the fraction of the relevant ceiling a
+// measured throughput achieves.
+func ContentionEfficiency(measuredKbps, ceilingKbps float64) (float64, error) {
+	if ceilingKbps <= 0 {
+		return 0, fmt.Errorf("analysis: non-positive ceiling %v", ceilingKbps)
+	}
+	return measuredKbps / ceilingKbps, nil
+}
+
+// SlotUtilization returns the fraction of a slot the data transmission
+// actually uses — the paper's motivating observation that τmax guard
+// time dwarfs transmission time.
+func SlotUtilization(s mac.SlotConfig, dataBits int, bitRate float64) float64 {
+	if s.Len() <= 0 {
+		return 0
+	}
+	dataTx := packet.Duration(packet.DataHeaderBits+dataBits, bitRate)
+	u := dataTx.Seconds() / s.Len().Seconds()
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// OptimalDataBits returns, within [minBits, maxBits], the payload size
+// maximizing the serialized ceiling — the paper's §2 argument (after
+// Basagni et al.) that long propagation delays favour large packets.
+func OptimalDataBits(s mac.SlotConfig, tau time.Duration, bitRate float64, minBits, maxBits, step int) int {
+	best, bestThr := minBits, 0.0
+	for b := minBits; b <= maxBits; b += step {
+		if thr := SerializedCeilingKbps(s, b, tau, bitRate); thr > bestThr {
+			best, bestThr = b, thr
+		}
+	}
+	return best
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+)
+
+func slots() mac.SlotConfig {
+	return mac.SlotConfig{
+		Omega:  packet.Duration(packet.ControlBits, 12000),
+		TauMax: time.Second,
+	}
+}
+
+func TestHandshakeSlots(t *testing.T) {
+	s := slots()
+	// 2048-bit data (176 ms) + τ 400 ms fits one slot: RTS+CTS+Data+Ack = 4.
+	if got := HandshakeSlots(s, 2048, 400*time.Millisecond, 12000); got != 4 {
+		t.Errorf("HandshakeSlots = %d, want 4", got)
+	}
+	// Data spanning two slots (huge payload) makes it 5.
+	if got := HandshakeSlots(s, 11000, 900*time.Millisecond, 12000); got != 5 {
+		t.Errorf("HandshakeSlots big = %d, want 5", got)
+	}
+}
+
+func TestSerializedCeiling(t *testing.T) {
+	s := slots()
+	got := SerializedCeilingKbps(s, 2048, 400*time.Millisecond, 12000)
+	// 2048 bits / (4 × 1.00533 s) ≈ 0.509 kbps.
+	want := 2048.0 / (4 * s.Len().Seconds()) / 1000
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ceiling = %v, want %v", got, want)
+	}
+}
+
+func TestExploitCeiling(t *testing.T) {
+	s := slots()
+	base := SerializedCeilingKbps(s, 2048, 600*time.Millisecond, 12000)
+	// 176 ms data < 600 ms τ: an extra packet fits → 2× bound.
+	if got := ExploitCeilingKbps(s, 2048, 600*time.Millisecond, 12000); got != 2*base {
+		t.Errorf("exploit ceiling = %v, want %v", got, 2*base)
+	}
+	// 176 ms data > 100 ms τ: no extra fits.
+	base2 := SerializedCeilingKbps(s, 2048, 100*time.Millisecond, 12000)
+	if got := ExploitCeilingKbps(s, 2048, 100*time.Millisecond, 12000); got != base2 {
+		t.Errorf("exploit ceiling without window = %v, want %v", got, base2)
+	}
+}
+
+func TestExtraFitsWindowBoundary(t *testing.T) {
+	// τ exactly equal to the tx time does not fit (strict inequality).
+	dataTx := packet.Duration(packet.DataHeaderBits+2048, 12000)
+	if ExtraFitsWindow(2048, dataTx, 12000) {
+		t.Error("boundary τ reported as fitting")
+	}
+	if !ExtraFitsWindow(2048, dataTx+time.Millisecond, 12000) {
+		t.Error("τ just above tx time reported as not fitting")
+	}
+}
+
+func TestContentionEfficiency(t *testing.T) {
+	e, err := ContentionEfficiency(0.25, 0.5)
+	if err != nil || e != 0.5 {
+		t.Errorf("efficiency = %v, %v", e, err)
+	}
+	if _, err := ContentionEfficiency(1, 0); err == nil {
+		t.Error("zero ceiling accepted")
+	}
+}
+
+func TestSlotUtilizationMotivatesThePaper(t *testing.T) {
+	s := slots()
+	u := SlotUtilization(s, 2048, 12000)
+	// A 2048-bit packet uses ~17.5% of a τmax-guarded slot: the other
+	// 82% is the waiting resource EW-MAC exploits.
+	if u < 0.15 || u > 0.20 {
+		t.Errorf("slot utilization = %v, want ≈0.175", u)
+	}
+	if SlotUtilization(s, 1<<20, 12000) != 1 {
+		t.Error("utilization should clamp at 1")
+	}
+}
+
+// Property: the serialized ceiling is monotone non-decreasing in
+// payload size when the data still fits one slot — larger packets
+// amortize the handshake, the paper's §2 conclusion.
+func TestCeilingFavoursLargePacketsProperty(t *testing.T) {
+	s := slots()
+	f := func(rawBits uint16, tauMS uint16) bool {
+		bits := 512 + int(rawBits%3584) // 512..4096
+		// Cap τ so that even bits+256 still fits one slot; across a
+		// slot-boundary crossing the ceiling legitimately drops.
+		tau := time.Duration(tauMS%600) * time.Millisecond
+		a := SerializedCeilingKbps(s, bits, tau, 12000)
+		b := SerializedCeilingKbps(s, bits+256, tau, 12000)
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalDataBitsPrefersLargest(t *testing.T) {
+	s := slots()
+	got := OptimalDataBits(s, 400*time.Millisecond, 12000, 1024, 4096, 1024)
+	if got != 4096 {
+		t.Errorf("OptimalDataBits = %d, want 4096 (Table 2 range)", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package channel connects modems through the acoustic environment: it
+// is the broadcast medium. For every transmission it computes, per
+// receiver, the propagation delay and received level from the current
+// geometry, then schedules the arrival at that receiver's modem.
+//
+// Delay and level are sampled at emission time. For moving nodes this
+// means the channel always uses true current geometry while the MAC
+// layer works from its learned delay tables — so staleness in the
+// protocol's knowledge (a failure mode the paper discusses in §5) is
+// faithfully represented rather than assumed away.
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ewmac/internal/packet"
+	"ewmac/internal/phy"
+	"ewmac/internal/sim"
+	"ewmac/internal/topology"
+)
+
+// InterferenceRangeFactor scales the nominal communication range to the
+// distance at which a transmission still contributes interference. At
+// 2× the nominal range the received level is ~15 dB below the edge of
+// the communication range (practical spreading), small enough to ignore
+// beyond it but large enough to matter within.
+const InterferenceRangeFactor = 2.0
+
+// TraceFunc observes every scheduled delivery; used by tests and the
+// debug tracer. It runs at emission time.
+type TraceFunc func(src, dst packet.NodeID, f *packet.Frame, delay time.Duration, levelDB float64)
+
+// Channel is the shared acoustic medium.
+type Channel struct {
+	eng    *sim.Engine
+	net    *topology.Network
+	modems map[packet.NodeID]*phy.Modem
+	trace  TraceFunc
+
+	// Deliveries counts scheduled frame arrivals (per receiver).
+	deliveries uint64
+}
+
+var _ phy.Medium = (*Channel)(nil)
+
+// New returns an empty channel over the given deployed network.
+func New(eng *sim.Engine, net *topology.Network) (*Channel, error) {
+	if eng == nil {
+		return nil, errors.New("channel: nil engine")
+	}
+	if net == nil {
+		return nil, errors.New("channel: nil network")
+	}
+	return &Channel{
+		eng:    eng,
+		net:    net,
+		modems: make(map[packet.NodeID]*phy.Modem),
+	}, nil
+}
+
+// Register attaches a modem. Every node in the topology must have
+// exactly one registered modem before traffic starts.
+func (c *Channel) Register(m *phy.Modem) error {
+	if m == nil {
+		return errors.New("channel: nil modem")
+	}
+	if c.net.Node(m.ID()) == nil {
+		return fmt.Errorf("channel: modem %v has no node in topology", m.ID())
+	}
+	if _, dup := c.modems[m.ID()]; dup {
+		return fmt.Errorf("channel: duplicate modem for %v", m.ID())
+	}
+	c.modems[m.ID()] = m
+	return nil
+}
+
+// SetTrace installs a delivery observer (nil to disable).
+func (c *Channel) SetTrace(t TraceFunc) { c.trace = t }
+
+// Deliveries reports how many frame arrivals have been scheduled.
+func (c *Channel) Deliveries() uint64 { return c.deliveries }
+
+// Broadcast implements phy.Medium: it fans f out to every other modem
+// within interference range, with per-pair delay and received level
+// computed from the current node positions.
+func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration) {
+	srcNode := c.net.Node(src)
+	if srcNode == nil {
+		panic(fmt.Sprintf("channel: broadcast from unknown node %v", src))
+	}
+	model := c.net.Model
+	maxDist := model.MaxRangeM * InterferenceRangeFactor
+	// Iterate in node-ID order, not map order: arrivals scheduled for
+	// the same instant are executed in scheduling order, and that order
+	// must be deterministic across runs.
+	for _, dstNode := range c.net.Nodes() {
+		id := dstNode.ID
+		if id == src {
+			continue
+		}
+		rx, ok := c.modems[id]
+		if !ok {
+			continue
+		}
+		dist := srcNode.Pos.Dist(dstNode.Pos)
+		if dist > maxDist {
+			continue
+		}
+		delay := model.Delay(srcNode.Pos, dstNode.Pos)
+		level := model.ReceivedLevelDB(srcNode.Pos, dstNode.Pos)
+		// Beyond the nominal communication range (Table 2: 1.5 km) the
+		// modem never synchronizes to the signal, but its energy still
+		// interferes at full physical strength.
+		syncable := dist <= model.MaxRangeM
+		if c.trace != nil {
+			c.trace(src, id, f, delay, level)
+		}
+		c.deliveries++
+		fc := f.Clone()
+		rxm := rx
+		c.eng.ScheduleIn(delay, sim.PriorityPHY, func() {
+			rxm.BeginArrival(fc, level, dur, syncable)
+		})
+		if model.SurfaceReflection {
+			// Two-ray extension: the surface-bounced copy arrives
+			// later and weaker, as pure interference (a real modem
+			// stays locked to the direct ray).
+			rDelay, rLevel := model.SurfacePath(srcNode.Pos, dstNode.Pos)
+			if rDelay > delay {
+				rc := f.Clone()
+				c.eng.ScheduleIn(rDelay, sim.PriorityPHY, func() {
+					rxm.BeginArrival(rc, rLevel, dur, false)
+				})
+			}
+		}
+	}
+}
+
+// Modem returns the registered modem for id, or nil.
+func (c *Channel) Modem(id packet.NodeID) *phy.Modem { return c.modems[id] }

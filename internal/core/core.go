@@ -1,0 +1,105 @@
+// Package core is the home of the paper's primary contribution at the
+// node level: it assembles one deployed EW-MAC sensor — acoustic modem,
+// protocol instance, and channel registration — from the substrates,
+// and re-exports the EW-MAC tuning options. The experiment harness
+// builds fleets through its own generic path; core is the entry point
+// for embedding a single EW-MAC node into a custom simulation (see
+// examples/ for fleet-level use through the public facade).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ewmac/internal/acoustic"
+	"ewmac/internal/channel"
+	"ewmac/internal/energy"
+	"ewmac/internal/mac"
+	"ewmac/internal/mac/ewmac"
+	"ewmac/internal/packet"
+	"ewmac/internal/phy"
+	"ewmac/internal/sim"
+)
+
+// Options re-exports the EW-MAC protocol knobs.
+type Options = ewmac.Options
+
+// Node is one assembled EW-MAC sensor.
+type Node struct {
+	// Modem is the node's half-duplex transducer.
+	Modem *phy.Modem
+	// MAC is the EW-MAC protocol instance driving the modem.
+	MAC *ewmac.MAC
+}
+
+// NodeConfig describes one sensor to assemble.
+type NodeConfig struct {
+	// ID is the dense node identifier (must exist in the channel's
+	// topology).
+	ID packet.NodeID
+	// Engine is the simulation engine shared by the deployment.
+	Engine *sim.Engine
+	// Channel is the shared acoustic medium.
+	Channel *channel.Channel
+	// Model is the acoustic environment (must match the channel's).
+	Model *acoustic.Model
+	// Energy is the modem power profile (zero value = defaults).
+	Energy energy.Profile
+	// IsSink marks pure receivers.
+	IsSink bool
+	// HelloWindow bounds the randomized Hello broadcast used to seed
+	// the one-hop delay tables (zero = 10 s).
+	HelloWindow time.Duration
+	// QueueMax bounds the transmit queue (0 = unbounded).
+	QueueMax int
+	// Options tunes the protocol (zero value = the paper's EW-MAC).
+	Options Options
+}
+
+// NewNode builds, registers, and returns an EW-MAC node. Call
+// Node.MAC.Start() once the whole deployment is assembled.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: nil acoustic model")
+	}
+	if cfg.Channel == nil {
+		return nil, fmt.Errorf("core: nil channel")
+	}
+	prof := cfg.Energy
+	if prof == (energy.Profile{}) {
+		prof = energy.DefaultProfile()
+	}
+	modem, err := phy.NewModem(phy.Config{
+		ID:     cfg.ID,
+		Engine: cfg.Engine,
+		Model:  cfg.Model,
+		Medium: cfg.Channel,
+		Energy: prof,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.Channel.Register(modem); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	slots := mac.SlotConfig{
+		Omega:  packet.Duration(packet.ControlBits, cfg.Model.BitRate()),
+		TauMax: cfg.Model.MaxDelay(),
+	}
+	proto, err := ewmac.New(mac.Config{
+		ID:          cfg.ID,
+		Engine:      cfg.Engine,
+		Modem:       modem,
+		Slots:       slots,
+		BitRate:     cfg.Model.BitRate(),
+		IsSink:      cfg.IsSink,
+		QueueMax:    cfg.QueueMax,
+		EnableHello: true,
+		HelloWindow: cfg.HelloWindow,
+	}, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	modem.SetListener(proto)
+	return &Node{Modem: modem, MAC: proto}, nil
+}

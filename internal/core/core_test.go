@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ewmac/internal/acoustic"
+	"ewmac/internal/channel"
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+	"ewmac/internal/topology"
+	"ewmac/internal/vec"
+)
+
+func deployment(t *testing.T) (*sim.Engine, *channel.Channel, *acoustic.Model) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	model := acoustic.DefaultModel()
+	nodes := []*topology.Node{
+		{ID: 1, Pos: vec.V3{Z: 100}},
+		{ID: 2, Pos: vec.V3{X: 700, Z: 400}},
+	}
+	region := vec.Box{Min: vec.V3{X: -1e4, Y: -1e4, Z: 0}, Max: vec.V3{X: 1e4, Y: 1e4, Z: 1e4}}
+	net, err := topology.NewNetwork(region, model, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(eng, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ch, model
+}
+
+func TestNewNodeAssemblesWorkingPair(t *testing.T) {
+	eng, ch, model := deployment(t)
+	var nodes []*Node
+	for id := packet.NodeID(1); id <= 2; id++ {
+		n, err := NewNode(NodeConfig{
+			ID:          id,
+			Engine:      eng,
+			Channel:     ch,
+			Model:       model,
+			HelloWindow: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.MAC.Start()
+	}
+	eng.MustScheduleAt(sim.At(9*time.Second), sim.PriorityApp, func() {
+		nodes[1].MAC.Enqueue(mac.AppPacket{Dst: 1, Bits: 2048})
+	})
+	eng.RunUntil(sim.At(30 * time.Second))
+	if got := nodes[0].MAC.Counters().DeliveredPackets; got != 1 {
+		t.Fatalf("delivered %d packets through a core-assembled pair, want 1", got)
+	}
+	if b, err := nodes[1].Modem.Energy(); err != nil || b.Total() <= 0 {
+		t.Errorf("energy metering broken: %v, %v", b, err)
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	eng, ch, model := deployment(t)
+	if _, err := NewNode(NodeConfig{ID: 1, Engine: eng, Channel: ch}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewNode(NodeConfig{ID: 1, Engine: eng, Model: model}); err == nil {
+		t.Error("nil channel accepted")
+	}
+	// Unknown topology ID is rejected at registration.
+	if _, err := NewNode(NodeConfig{ID: 99, Engine: eng, Channel: ch, Model: model}); err == nil {
+		t.Error("unknown node ID accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"ewmac/internal/acoustic"
+	"ewmac/internal/analysis"
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+)
+
+// TestThroughputWithinAnalyticalCeiling ties the simulator to the
+// closed-form model: in a single broadcast domain no protocol may
+// exceed the exploit ceiling (one serialized handshake pipeline plus
+// at most one appended packet per exchange).
+func TestThroughputWithinAnalyticalCeiling(t *testing.T) {
+	model := acoustic.DefaultModel()
+	slots := mac.SlotConfig{
+		Omega:  packet.Duration(packet.ControlBits, model.BitRate()),
+		TauMax: model.MaxDelay(),
+	}
+	ceiling := analysis.ExploitCeilingKbps(slots, 2048, model.MaxDelay(), model.BitRate())
+	serial := analysis.SerializedCeilingKbps(slots, 2048, model.MaxDelay(), model.BitRate())
+	for _, p := range Protocols {
+		cfg := Default(p)
+		cfg.SimTime = 200 * time.Second
+		cfg.OfferedLoadKbps = 1.0
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thr := res.Summary.ThroughputKbps
+		if thr > ceiling {
+			t.Errorf("%s: throughput %v exceeds the exploit ceiling %v", p, thr, ceiling)
+		}
+		eff, err := analysis.ContentionEfficiency(thr, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-7s %.3f kbps = %.0f%% of the serialized ceiling (%.3f)", p, thr, 100*eff, serial)
+		if p == ProtocolSFAMA && thr > serial {
+			t.Errorf("S-FAMA %v exceeded the serialized ceiling %v (it appends nothing)", thr, serial)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package experiment assembles full simulations of the paper's
+// evaluation scenarios: it deploys a topology per Table 2, wires
+// modems, channel, protocol instances, traffic generators and mobility,
+// runs the discrete-event engine, and reduces the raw counters to the
+// metrics of §5.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ewmac/internal/acoustic"
+	"ewmac/internal/channel"
+	"ewmac/internal/energy"
+	"ewmac/internal/mac"
+	"ewmac/internal/mac/csmac"
+	"ewmac/internal/mac/ewmac"
+	"ewmac/internal/mac/ropa"
+	"ewmac/internal/mac/saloha"
+	"ewmac/internal/mac/sfama"
+	"ewmac/internal/metrics"
+	"ewmac/internal/packet"
+	"ewmac/internal/phy"
+	"ewmac/internal/routing"
+	"ewmac/internal/sim"
+	"ewmac/internal/topology"
+	"ewmac/internal/traffic"
+	"ewmac/internal/vec"
+)
+
+// Protocol selects the MAC under test.
+type Protocol string
+
+// The four protocols of the paper's evaluation.
+const (
+	ProtocolEWMAC Protocol = "ewmac"
+	ProtocolSFAMA Protocol = "sfama"
+	ProtocolROPA  Protocol = "ropa"
+	ProtocolCSMAC Protocol = "csmac"
+	// ProtocolSALOHA is an extension baseline (slotted ALOHA with
+	// acknowledgements); it is runnable but not part of the paper's
+	// figure sweeps.
+	ProtocolSALOHA Protocol = "saloha"
+)
+
+// Protocols lists all protocols in the paper's presentation order.
+var Protocols = []Protocol{ProtocolSFAMA, ProtocolROPA, ProtocolCSMAC, ProtocolEWMAC}
+
+// DisplayName returns the paper's name for the protocol.
+func (p Protocol) DisplayName() string {
+	switch p {
+	case ProtocolEWMAC:
+		return "EW-MAC"
+	case ProtocolSFAMA:
+		return "S-FAMA"
+	case ProtocolROPA:
+		return "ROPA"
+	case ProtocolCSMAC:
+		return "CS-MAC"
+	case ProtocolSALOHA:
+		return "S-ALOHA"
+	default:
+		return string(p)
+	}
+}
+
+// Config is one scenario. Default() fills it with Table 2.
+type Config struct {
+	Protocol Protocol
+	// Nodes is the number of sensing nodes; Sinks surface sinks.
+	Nodes, Sinks int
+	// RegionSide is the deployment cube edge in meters.
+	RegionSide float64
+	// MobileFraction of sensors drift (half horizontal, half vertical);
+	// CurrentMS is the drift speed.
+	MobileFraction, CurrentMS float64
+	// OfferedLoadKbps is the network-wide generated payload rate.
+	OfferedLoadKbps float64
+	// FixedBatch, if positive, replaces the Poisson load with a batch
+	// of that many packets injected at warmup (Figure 8's workload).
+	FixedBatch int
+	// DataBits is the payload size (Table 2: 1024–4096, default 2048).
+	DataBits int
+	// SimTime is total simulated time; Warmup is the initialization
+	// period (Hello phase) excluded from the measurement window.
+	SimTime, Warmup time.Duration
+	// MobilityStep is how often node positions advance.
+	MobilityStep time.Duration
+	// Seed drives every random stream.
+	Seed int64
+	// QueueMax bounds MAC queues (0 = unbounded).
+	QueueMax int
+	// MaxRetries drops a packet after that many failed rounds (0 = keep
+	// trying).
+	MaxRetries int
+	// CWMax overrides the backoff window ceiling in slots (0 = default).
+	CWMax int
+	// Model overrides the acoustic environment (nil = default).
+	Model *acoustic.Model
+	// PER overrides the packet-error model (nil = threshold receiver
+	// at the model's SINR cutoff). Use acoustic.UniformLossPER for
+	// failure injection.
+	PER acoustic.PERModel
+	// Energy overrides the modem power profile (zero = default).
+	Energy energy.Profile
+	// EW / Ropa / CS pass protocol-specific options.
+	EW   ewmac.Options
+	Ropa ropa.Options
+	CS   csmac.Options
+	// Instrument attaches observability hooks (verification oracles,
+	// trace writers); nil disables.
+	Instrument *Instrumentation
+}
+
+// Instrumentation taps channel- and PHY-level events without
+// influencing protocol behaviour.
+type Instrumentation struct {
+	// Trace observes every scheduled frame delivery at emission time.
+	Trace channel.TraceFunc
+	// RxTap observes every successful decode.
+	RxTap func(now sim.Time, node packet.NodeID, f *packet.Frame)
+	// LossTap observes every reported loss of a decodable frame.
+	LossTap func(now sim.Time, node packet.NodeID, f *packet.Frame, r phy.LossReason)
+}
+
+// Default returns the paper's Table 2 scenario for protocol p.
+func Default(p Protocol) Config {
+	return Config{
+		Protocol:        p,
+		Nodes:           60,
+		Sinks:           4,
+		RegionSide:      1000,
+		MobileFraction:  0.5,
+		CurrentMS:       0.3,
+		OfferedLoadKbps: 0.5,
+		DataBits:        2048,
+		SimTime:         300 * time.Second,
+		Warmup:          12 * time.Second,
+		MobilityStep:    time.Second,
+		Seed:            1,
+		QueueMax:        128,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("experiment: %d nodes", c.Nodes)
+	case c.DataBits <= 0:
+		return fmt.Errorf("experiment: %d data bits", c.DataBits)
+	case c.SimTime <= c.Warmup:
+		return fmt.Errorf("experiment: sim time %v within warmup %v", c.SimTime, c.Warmup)
+	case c.RegionSide <= 0:
+		return fmt.Errorf("experiment: region side %v", c.RegionSide)
+	case c.OfferedLoadKbps < 0:
+		return fmt.Errorf("experiment: offered load %v", c.OfferedLoadKbps)
+	case c.MobilityStep <= 0:
+		return fmt.Errorf("experiment: mobility step %v", c.MobilityStep)
+	}
+	switch c.Protocol {
+	case ProtocolEWMAC, ProtocolSFAMA, ProtocolROPA, ProtocolCSMAC, ProtocolSALOHA:
+	default:
+		return fmt.Errorf("experiment: unknown protocol %q", c.Protocol)
+	}
+	return nil
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Config  Config
+	Summary metrics.Summary
+	// MeanDegree and MaxPairDelay characterize the deployed topology.
+	MeanDegree   float64
+	MaxPairDelay time.Duration
+	// PerNode keeps raw samples for deeper inspection.
+	PerNode []metrics.NodeSample
+}
+
+// Run executes one scenario.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model := cfg.Model
+	if model == nil {
+		model = acoustic.DefaultModel()
+	}
+	prof := cfg.Energy
+	if prof == (energy.Profile{}) {
+		prof = energy.DefaultProfile()
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	net, err := topology.Deploy(topology.DeployConfig{
+		Nodes:     cfg.Nodes,
+		Sinks:     cfg.Sinks,
+		Region:    vec.Cube(cfg.RegionSide),
+		Mobile:    cfg.MobileFraction,
+		CurrentMS: cfg.CurrentMS,
+	}, model, eng.RNG("deploy"))
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.New(eng, net)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Instrument != nil && cfg.Instrument.Trace != nil {
+		ch.SetTrace(cfg.Instrument.Trace)
+	}
+
+	slots := mac.SlotConfig{
+		Omega:  packet.Duration(packet.ControlBits, model.BitRate()),
+		TauMax: model.MaxDelay(),
+	}
+
+	modems := make([]*phy.Modem, 0, net.Len())
+	protos := make([]mac.Protocol, 0, net.Len())
+	for _, n := range net.Nodes() {
+		modem, err := phy.NewModem(phy.Config{
+			ID:     n.ID,
+			Engine: eng,
+			Model:  model,
+			PER:    cfg.PER,
+			Medium: ch,
+			Energy: prof,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := ch.Register(modem); err != nil {
+			return nil, err
+		}
+		proto, err := buildProtocol(cfg, mac.Config{
+			ID:          n.ID,
+			Engine:      eng,
+			Modem:       modem,
+			Slots:       slots,
+			BitRate:     model.BitRate(),
+			IsSink:      n.Sink,
+			QueueMax:    cfg.QueueMax,
+			MaxRetries:  cfg.MaxRetries,
+			CWMax:       cfg.CWMax,
+			EnableHello: true,
+			HelloWindow: cfg.Warmup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		modem.SetListener(proto)
+		if cfg.Instrument != nil {
+			id := n.ID
+			if tap := cfg.Instrument.RxTap; tap != nil {
+				modem.SetRxTap(func(f *packet.Frame) { tap(eng.Now(), id, f) })
+			}
+			if tap := cfg.Instrument.LossTap; tap != nil {
+				modem.SetLossTap(func(f *packet.Frame, r phy.LossReason) { tap(eng.Now(), id, f, r) })
+			}
+		}
+		modems = append(modems, modem)
+		protos = append(protos, proto)
+	}
+	for _, p := range protos {
+		p.Start()
+	}
+
+	// Traffic.
+	route := func(from packet.NodeID) (packet.NodeID, bool) {
+		return routing.NextHop(net, from)
+	}
+	warmupAt := sim.At(cfg.Warmup)
+	endAt := sim.At(cfg.SimTime)
+	if cfg.FixedBatch > 0 {
+		spreadBatch(eng, net, protos, route, cfg)
+	} else if cfg.OfferedLoadKbps > 0 {
+		rate := traffic.PerNodeRate(cfg.OfferedLoadKbps, cfg.DataBits, cfg.Nodes)
+		for i, n := range net.Nodes() {
+			if n.Sink {
+				continue
+			}
+			gen, err := traffic.NewGenerator(traffic.Config{
+				Node:    n.ID,
+				Engine:  eng,
+				Sink:    protos[i],
+				Route:   route,
+				RatePPS: rate,
+				Bits:    cfg.DataBits,
+				Start:   warmupAt,
+				Stop:    endAt,
+			})
+			if err != nil {
+				return nil, err
+			}
+			gen.Start()
+		}
+	}
+
+	// Mobility.
+	if cfg.MobileFraction > 0 && cfg.CurrentMS > 0 {
+		var step func()
+		step = func() {
+			net.Step(cfg.MobilityStep)
+			if eng.Now().Add(cfg.MobilityStep).Before(endAt) {
+				eng.ScheduleIn(cfg.MobilityStep, sim.PriorityObserver, step)
+			}
+		}
+		eng.ScheduleIn(cfg.MobilityStep, sim.PriorityObserver, step)
+	}
+
+	// Baseline energy snapshot at warmup so initialization cost does
+	// not skew the power comparison window.
+	baseline := make([]energy.Breakdown, len(modems))
+	eng.MustScheduleAt(warmupAt, sim.PriorityObserver, func() {
+		for i, m := range modems {
+			b, err := m.Energy()
+			if err == nil {
+				baseline[i] = b
+			}
+		}
+	})
+
+	eng.RunUntil(endAt)
+
+	samples := make([]metrics.NodeSample, 0, len(modems))
+	for i, m := range modems {
+		b, err := m.Energy()
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, metrics.NodeSample{
+			MAC: protos[i].Counters(),
+			PHY: m.Stats(),
+			Energy: energy.Breakdown{
+				IdleJ:  b.IdleJ - baseline[i].IdleJ,
+				RxJ:    b.RxJ - baseline[i].RxJ,
+				TxJ:    b.TxJ - baseline[i].TxJ,
+				SleepJ: b.SleepJ - baseline[i].SleepJ,
+			},
+			IsSink: net.Nodes()[i].Sink,
+		})
+	}
+	sum, err := metrics.Summarize(samples, cfg.SimTime-cfg.Warmup, cfg.DataBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Config:       cfg,
+		Summary:      sum,
+		MeanDegree:   net.MeanDegree(),
+		MaxPairDelay: net.MaxPairDelay(),
+		PerNode:      samples,
+	}, nil
+}
+
+// spreadBatch injects cfg.FixedBatch packets, round-robin across
+// non-sink nodes, shortly after warmup (Figure 8's workload).
+func spreadBatch(eng *sim.Engine, net *topology.Network, protos []mac.Protocol, route traffic.Router, cfg Config) {
+	nonSinks := make([]int, 0, net.Len())
+	for i, n := range net.Nodes() {
+		if !n.Sink {
+			nonSinks = append(nonSinks, i)
+		}
+	}
+	if len(nonSinks) == 0 {
+		return
+	}
+	// Round-robin the batch across nodes, one FixedBatch call per node
+	// so sequence numbers stay unique per origin.
+	per := make(map[int]int, len(nonSinks))
+	for k := 0; k < cfg.FixedBatch; k++ {
+		per[nonSinks[k%len(nonSinks)]]++
+	}
+	for _, idx := range nonSinks {
+		if per[idx] == 0 {
+			continue
+		}
+		node := net.Nodes()[idx].ID
+		traffic.FixedBatch(eng, protos[idx], route, node, cfg.DataBits, per[idx], sim.At(cfg.Warmup))
+	}
+}
+
+func buildProtocol(cfg Config, mcfg mac.Config) (mac.Protocol, error) {
+	switch cfg.Protocol {
+	case ProtocolEWMAC:
+		return ewmac.New(mcfg, cfg.EW)
+	case ProtocolSFAMA:
+		return sfama.New(mcfg)
+	case ProtocolROPA:
+		return ropa.New(mcfg, cfg.Ropa)
+	case ProtocolCSMAC:
+		return csmac.New(mcfg, cfg.CS)
+	case ProtocolSALOHA:
+		return saloha.New(mcfg)
+	default:
+		return nil, errors.New("experiment: unknown protocol")
+	}
+}
+
+// RunMean executes the scenario once per seed — in parallel, since
+// each run owns an independent engine — and averages the summaries.
+// The result is deterministic: per-seed outcomes do not depend on
+// scheduling, and the average is order-independent by construction
+// (summaries are collected in seed order).
+func RunMean(cfg Config, seeds []int64) (metrics.Summary, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{cfg.Seed}
+	}
+	runs := make([]metrics.Summary, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, s := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = seed
+			r, err := Run(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			runs[i] = r.Summary
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+	}
+	return metrics.Mean(runs)
+}

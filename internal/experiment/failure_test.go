@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"ewmac/internal/acoustic"
+)
+
+// TestRetransmissionRecoversFromFrameLoss injects a flat 10% frame
+// loss on top of the SINR receiver and checks every protocol's
+// retransmission machinery still delivers most of a light load —
+// robustness the paper's retransmission accounting presumes.
+func TestRetransmissionRecoversFromFrameLoss(t *testing.T) {
+	model := acoustic.DefaultModel()
+	for _, p := range Protocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			cfg := Default(p)
+			cfg.SimTime = 240 * time.Second
+			cfg.OfferedLoadKbps = 0.2 // light load: loss, not congestion
+			cfg.PER = acoustic.UniformLossPER{
+				Base:     acoustic.ThresholdPER{ThresholdDB: model.SINRThresholdDB},
+				LossProb: 0.10,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Summary
+			if s.MAC.Retransmissions+s.MAC.ContentionFailures == 0 {
+				t.Error("10% frame loss caused no retries at all")
+			}
+			if s.DeliveryRatio < 0.5 {
+				t.Errorf("delivery ratio %.2f under 10%% loss — retransmission path broken?", s.DeliveryRatio)
+			}
+			t.Logf("%s: delivery %.0f%%, retransmissions %d, PER losses %d",
+				p, 100*s.DeliveryRatio, s.MAC.Retransmissions, s.PHY.PERLosses)
+			if s.PHY.PERLosses == 0 {
+				t.Error("injected loss never triggered")
+			}
+		})
+	}
+}
+
+// TestTotalLossDeliversNothing is the degenerate sanity check: with
+// 100% loss nothing is ever delivered, and the run still terminates.
+func TestTotalLossDeliversNothing(t *testing.T) {
+	cfg := Default(ProtocolEWMAC)
+	cfg.SimTime = 60 * time.Second
+	cfg.OfferedLoadKbps = 0.3
+	cfg.PER = acoustic.UniformLossPER{LossProb: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.MAC.DeliveredPackets != 0 {
+		t.Errorf("delivered %d packets through a dead channel", res.Summary.MAC.DeliveredPackets)
+	}
+	if res.Summary.MAC.RTSSent == 0 {
+		t.Error("senders never even tried")
+	}
+}

@@ -1,0 +1,789 @@
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ewmac/internal/packet"
+	"ewmac/internal/phy"
+	"ewmac/internal/sim"
+)
+
+// Role is the node's position in its own primary handshake.
+type Role uint8
+
+// Primary handshake roles (the state-transfer diagram of Figure 3,
+// with the "quiet" condition derived from the ledger instead of being
+// a distinct state, and the extra-communication states delegated to
+// protocol hooks).
+const (
+	// RoleIdle: no handshake in progress.
+	RoleIdle Role = iota + 1
+	// RoleWaitCTS: sent an RTS, waiting for the CTS slot.
+	RoleWaitCTS
+	// RoleSendData: negotiated as sender; data goes out at DataSlot.
+	RoleSendData
+	// RoleWaitAck: data sent, waiting for the Ack slot.
+	RoleWaitAck
+	// RoleWaitData: granted a CTS, waiting to receive data.
+	RoleWaitData
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleIdle:
+		return "idle"
+	case RoleWaitCTS:
+		return "wait-cts"
+	case RoleSendData:
+		return "send-data"
+	case RoleWaitAck:
+		return "wait-ack"
+	case RoleWaitData:
+		return "wait-data"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Hooks customize the shared engine per protocol. All methods run on
+// the simulation goroutine.
+type Hooks interface {
+	// PickWinner chooses among RTS frames received in one slot
+	// (S-FAMA: first arrival; EW-MAC: highest random priority).
+	PickWinner(cands []*packet.Frame) *packet.Frame
+	// Piggyback may attach neighbor info to an outgoing control frame
+	// (CS-MAC/ROPA two-hop state; EW-MAC pair info).
+	Piggyback(f *packet.Frame)
+	// OnSlotStart runs at each slot boundary after base duties.
+	OnSlotStart(slot int64)
+	// OnContentionLost fires when this node, in RoleWaitCTS toward
+	// cause.Src, learns its target negotiated with someone else
+	// (cause is the overheard RTS or CTS from the target). EW-MAC
+	// launches its extra-communication request here.
+	OnContentionLost(cause *packet.Frame)
+	// OnNegotiated fires when this node's RTS is answered (cts is the
+	// received CTS). ROPA grants pending appended requests here.
+	OnNegotiated(cts *packet.Frame)
+	// OnOverheard sees every decoded frame not addressed to this node,
+	// after base bookkeeping (table, ledger).
+	OnOverheard(f *packet.Frame)
+	// OnExtraFrame handles extra-communication frames addressed to
+	// this node (EXR, EXC, EXData, EXAck, RTA, StolenData).
+	OnExtraFrame(f *packet.Frame)
+}
+
+// Config assembles a Base.
+type Config struct {
+	ID     packet.NodeID
+	Engine *sim.Engine
+	Modem  *phy.Modem
+	Slots  SlotConfig
+	// BitRate is the shared modem bit rate (bits/s).
+	BitRate float64
+	// IsSink marks pure receivers.
+	IsSink bool
+	// QueueMax bounds the transmit queue (0 = unbounded).
+	QueueMax int
+	// MaxRetries drops a packet after this many failed rounds
+	// (0 = retry forever).
+	MaxRetries int
+	// CWMin / CWMax bound the binary-exponential backoff window, in
+	// slots.
+	CWMin, CWMax int
+	// EnableHello broadcasts a Hello at a random instant inside
+	// HelloWindow so neighbors learn pairwise delays (paper §4.3).
+	EnableHello bool
+	HelloWindow time.Duration
+	// TableTTL ages out delay estimates (0 = never).
+	TableTTL time.Duration
+	// RPBoostCap is the wait-slots count at which the random priority
+	// boost saturates (paper §3.1: rp reflects contention/wait time).
+	RPBoostCap int64
+	// LenientGrant lets a receiver answer an RTS addressed to it even
+	// when it overheard other (unconfirmed) RTS attempts in the same
+	// contention slot. Slotted-FAMA-derived protocols defer on any
+	// overheard RTS; EW-MAC instead arbitrates by random priority.
+	LenientGrant bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.CWMin <= 0 {
+		c.CWMin = 2
+	}
+	if c.CWMax < c.CWMin {
+		// In a saturated single broadcast domain a successful handshake
+		// needs a slot with exactly one RTS; the window must be able to
+		// grow to the same order as the contender population.
+		c.CWMax = 128
+	}
+	if c.RPBoostCap <= 0 {
+		c.RPBoostCap = 16
+	}
+	if c.HelloWindow <= 0 {
+		c.HelloWindow = 10 * time.Second
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.ID == packet.Nobody || c.ID == packet.Broadcast:
+		return fmt.Errorf("mac: invalid node ID %v", c.ID)
+	case c.Engine == nil:
+		return errors.New("mac: nil engine")
+	case c.Modem == nil:
+		return errors.New("mac: nil modem")
+	case c.BitRate <= 0:
+		return fmt.Errorf("mac: bit rate %v", c.BitRate)
+	}
+	return c.Slots.Validate()
+}
+
+// Base is the shared slotted four-way-handshake engine. Protocol
+// implementations embed *Base and provide Hooks.
+type Base struct {
+	cfg   Config
+	hooks Hooks
+	rng   *sim.RNG
+
+	table  *NeighborTable
+	ledger *Ledger
+	queue  Queue
+
+	role Role
+	// Sender-side state.
+	cur         AppPacket
+	hasCur      bool
+	curAttempts int
+	rtsSlot     int64
+	dataSlot    int64
+	ackDeadline int64
+	curTau      time.Duration
+	backoffLeft int
+	cw          int
+	headSince   int64
+	seq         uint32
+	// Receiver-side state.
+	rtsCands    map[int64][]*packet.Frame
+	rxDataSlot  int64
+	rxSender    packet.NodeID
+	rxDataTx    time.Duration
+	rxTau       time.Duration
+	rxAckSlot   int64
+	rxGotData   bool
+	rxDataFrame *packet.Frame
+	// holdUntil suspends contention and CTS granting while an
+	// extra-communication exchange owns the transducer's near future.
+	holdUntil sim.Time
+	// seen dedupes retransmitted payloads: origin<<32|seq.
+	seen map[uint64]struct{}
+
+	counters Counters
+	started  bool
+	nextSlot int64
+}
+
+// NewBase validates cfg and returns an engine (hooks must be set with
+// SetHooks before Start).
+func NewBase(cfg Config) (*Base, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	return &Base{
+		cfg:      cfg,
+		rng:      cfg.Engine.RNG(fmt.Sprintf("mac/%d", cfg.ID)),
+		table:    NewNeighborTable(cfg.TableTTL),
+		ledger:   NewLedger(cfg.Slots),
+		queue:    Queue{MaxLen: cfg.QueueMax},
+		role:     RoleIdle,
+		rtsCands: make(map[int64][]*packet.Frame),
+		seen:     make(map[uint64]struct{}),
+		cw:       cfg.CWMin,
+	}, nil
+}
+
+// SetHooks installs the protocol behaviour. Must precede Start.
+func (b *Base) SetHooks(h Hooks) { b.hooks = h }
+
+// Accessors used by protocol implementations and tests.
+
+// ID returns the node ID.
+func (b *Base) ID() packet.NodeID { return b.cfg.ID }
+
+// Engine returns the simulation engine.
+func (b *Base) Engine() *sim.Engine { return b.cfg.Engine }
+
+// Modem returns the PHY.
+func (b *Base) Modem() *phy.Modem { return b.cfg.Modem }
+
+// Slots returns the slot geometry.
+func (b *Base) Slots() SlotConfig { return b.cfg.Slots }
+
+// BitRate returns the modem bit rate.
+func (b *Base) BitRate() float64 { return b.cfg.BitRate }
+
+// Table returns the one-hop delay table.
+func (b *Base) Table() *NeighborTable { return b.table }
+
+// Ledger returns the overheard-negotiation ledger.
+func (b *Base) Ledger() *Ledger { return b.ledger }
+
+// Queue returns the transmit queue.
+func (b *Base) Queue() *Queue { return &b.queue }
+
+// RNG returns this node's deterministic random stream.
+func (b *Base) RNG() *sim.RNG { return b.rng }
+
+// Role returns the current primary-handshake role.
+func (b *Base) Role() Role { return b.role }
+
+// Counters implements Protocol.
+func (b *Base) Counters() Counters { return b.counters }
+
+// CountersRef gives protocol hooks mutable access to the counters.
+func (b *Base) CountersRef() *Counters { return &b.counters }
+
+// QueueLen implements Protocol.
+func (b *Base) QueueLen() int { return b.queue.Len() }
+
+// SetHold suspends base contention and CTS granting until t; protocols
+// use it while an extra exchange owns the near future. Zero clears.
+func (b *Base) SetHold(t sim.Time) { b.holdUntil = t }
+
+// Held reports whether the base is currently suspended.
+func (b *Base) Held() bool { return b.cfg.Engine.Now() < b.holdUntil }
+
+// ControlTx returns the worst-case on-air time of this protocol's
+// control frames (ω plus piggyback padding).
+func (b *Base) ControlTx() time.Duration { return b.cfg.Slots.CtrlDur() }
+
+// FrameTx returns the exact on-air time of f at the shared rate.
+func (b *Base) FrameTx(f *packet.Frame) time.Duration {
+	return f.TxDuration(b.cfg.BitRate)
+}
+
+// DataTx returns the on-air time of a data frame carrying bits payload.
+func (b *Base) DataTx(bits int) time.Duration {
+	return packet.Duration(packet.DataHeaderBits+bits, b.cfg.BitRate)
+}
+
+// Start implements Protocol: arms the slot loop and the Hello phase.
+func (b *Base) Start() {
+	if b.started {
+		return
+	}
+	if b.hooks == nil {
+		panic("mac: Start before SetHooks")
+	}
+	b.started = true
+	if b.cfg.EnableHello {
+		off := time.Duration(b.rng.Int63n(int64(b.cfg.HelloWindow)))
+		b.cfg.Engine.ScheduleIn(off, sim.PriorityMAC, b.sendHello)
+	}
+	now := b.cfg.Engine.Now()
+	b.nextSlot = b.cfg.Slots.SlotAt(now)
+	if b.cfg.Slots.StartOf(b.nextSlot) != now {
+		b.nextSlot++
+	}
+	b.scheduleNextSlot()
+}
+
+func (b *Base) scheduleNextSlot() {
+	slot := b.nextSlot
+	b.nextSlot++
+	b.cfg.Engine.MustScheduleAt(b.cfg.Slots.StartOf(slot), sim.PriorityMAC, func() {
+		b.onSlotStart(slot)
+		b.scheduleNextSlot()
+	})
+}
+
+func (b *Base) sendHello() {
+	f := b.NewFrame(packet.KindHello, packet.Broadcast)
+	if err := b.SendNow(f); err == nil {
+		b.counters.MaintenanceBits += uint64(f.Bits())
+	}
+}
+
+// NewFrame builds a frame from this node with the timestamp left to be
+// stamped at transmission (SendNow fills it).
+func (b *Base) NewFrame(kind packet.Kind, dst packet.NodeID) *packet.Frame {
+	return &packet.Frame{Kind: kind, Src: b.cfg.ID, Dst: dst}
+}
+
+// SendNow stamps and transmits f immediately. Control frames pass
+// through the Piggyback hook first.
+func (b *Base) SendNow(f *packet.Frame) error {
+	if f.Kind.IsControl() && b.hooks != nil {
+		b.hooks.Piggyback(f)
+	}
+	f.Timestamp = b.cfg.Engine.Now().Duration()
+	return b.cfg.Modem.Transmit(f)
+}
+
+// SendAt schedules f for transmission at instant t (stamped then).
+func (b *Base) SendAt(t sim.Time, f *packet.Frame, onErr func(error)) {
+	b.cfg.Engine.MustScheduleAt(t, sim.PriorityMAC, func() {
+		if err := b.SendNow(f); err != nil && onErr != nil {
+			onErr(err)
+		}
+	})
+}
+
+// Enqueue implements Protocol.
+func (b *Base) Enqueue(p AppPacket) {
+	if p.Origin == packet.Nobody {
+		p.Origin = b.cfg.ID
+	}
+	if p.Seq == 0 {
+		b.seq++
+		p.Seq = b.seq
+	}
+	if b.queue.Push(p) {
+		b.counters.Generated++
+	}
+}
+
+// ---- Slot engine ----
+
+func (b *Base) onSlotStart(s int64) {
+	b.ledger.Prune(s)
+
+	// 1. Receiver: answer last slot's RTS contention.
+	b.receiverGrant(s)
+
+	// 2. Sender timeline.
+	switch b.role {
+	case RoleWaitCTS:
+		if s >= b.rtsSlot+2 {
+			// No CTS arrived: contention failed.
+			b.counters.ContentionFailures++
+			b.failRound(s)
+		}
+	case RoleSendData:
+		if s == b.dataSlot {
+			b.transmitData(s)
+		}
+	case RoleWaitAck:
+		if s >= b.ackDeadline {
+			b.counters.Retransmissions++
+			b.counters.RetransmittedBits += uint64(b.cur.Bits)
+			b.failRound(s)
+		}
+	case RoleWaitData:
+		if s == b.rxAckSlot {
+			b.finishReceive(s)
+		}
+	case RoleIdle:
+		// Fall through to contention.
+	}
+
+	// 3. Contention.
+	b.maybeContend(s)
+
+	// 4. Protocol extension point.
+	b.hooks.OnSlotStart(s)
+
+	// Drop stale RTS candidate buckets.
+	for slot := range b.rtsCands {
+		if slot < s-1 {
+			delete(b.rtsCands, slot)
+		}
+	}
+}
+
+func (b *Base) receiverGrant(s int64) {
+	cands := b.rtsCands[s-1]
+	if len(cands) == 0 {
+		return
+	}
+	delete(b.rtsCands, s-1)
+	if b.role != RoleIdle || b.Held() {
+		return
+	}
+	quiet := b.ledger.QuietUntilSlot()
+	if b.cfg.LenientGrant {
+		quiet = b.ledger.QuietUntilSlotConfirmed()
+	}
+	if quiet > s {
+		return
+	}
+	winner := b.hooks.PickWinner(cands)
+	if winner == nil {
+		return
+	}
+	now := b.cfg.Engine.Now()
+	tau, ok := b.table.Delay(winner.Src, now)
+	if !ok {
+		tau = b.cfg.Slots.TauMax
+	}
+	cts := b.NewFrame(packet.KindCTS, winner.Src)
+	cts.PairDelay = tau
+	cts.DataBits = winner.DataBits
+	if err := b.SendNow(cts); err != nil {
+		return
+	}
+	b.counters.CTSSent++
+	b.role = RoleWaitData
+	b.rxDataSlot = s + 1
+	b.rxSender = winner.Src
+	b.rxDataTx = b.DataTx(winner.DataBits)
+	b.rxTau = tau
+	b.rxGotData = false
+	b.rxDataFrame = nil
+	b.rxAckSlot = b.cfg.Slots.AckSlot(s+1, b.rxDataTx, tau)
+}
+
+func (b *Base) maybeContend(s int64) {
+	if b.role != RoleIdle || b.cfg.IsSink || b.Held() {
+		return
+	}
+	head, ok := b.queue.Peek()
+	if !ok {
+		b.headSince = s
+		return
+	}
+	if b.ledger.QuietUntilSlot() > s {
+		// The channel is reserved: freeze the backoff counter (802.11
+		// semantics). Counting down only in free slots desynchronizes
+		// contenders after an exchange ends; counting in wall-clock
+		// slots would release every backlogged node at once and
+		// collapse throughput under load.
+		return
+	}
+	if b.cfg.Modem.Transmitting() || b.cfg.Modem.Receiving() {
+		return
+	}
+	if b.backoffLeft > 0 {
+		b.backoffLeft--
+		return
+	}
+	now := b.cfg.Engine.Now()
+	tau, known := b.table.Delay(head.Dst, now)
+	if !known {
+		tau = b.cfg.Slots.TauMax
+	}
+	rts := b.NewFrame(packet.KindRTS, head.Dst)
+	rts.DataBits = head.Bits
+	rts.PairDelay = tau
+	rts.RP = b.randomPriority(s)
+	if err := b.SendNow(rts); err != nil {
+		return
+	}
+	b.counters.RTSSent++
+	b.role = RoleWaitCTS
+	b.cur = head
+	b.hasCur = true
+	b.rtsSlot = s
+	b.curTau = tau
+}
+
+// randomPriority implements the paper's rp: a random value boosted by
+// how long the head packet has waited, so starved nodes eventually win
+// receiver arbitration.
+func (b *Base) randomPriority(s int64) float64 {
+	wait := s - b.headSince
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > b.cfg.RPBoostCap {
+		wait = b.cfg.RPBoostCap
+	}
+	return b.rng.Float64() + float64(wait)/float64(b.cfg.RPBoostCap)
+}
+
+func (b *Base) transmitData(s int64) {
+	if !b.hasCur {
+		b.role = RoleIdle
+		return
+	}
+	f := b.NewFrame(packet.KindData, b.cur.Dst)
+	f.DataBits = b.cur.Bits
+	f.Seq = b.cur.Seq
+	f.Origin = b.cur.Origin
+	f.GeneratedAt = b.cur.GeneratedAt
+	f.PairDelay = b.curTau
+	if err := b.SendNow(f); err != nil {
+		b.failRound(s)
+		return
+	}
+	b.role = RoleWaitAck
+	b.ackDeadline = b.cfg.Slots.AckSlot(s, b.DataTx(b.cur.Bits), b.curTau) + 1
+}
+
+func (b *Base) finishReceive(s int64) {
+	if b.rxGotData && b.rxDataFrame != nil {
+		ack := b.NewFrame(packet.KindAck, b.rxSender)
+		ack.Seq = b.rxDataFrame.Seq
+		ack.PairDelay = b.rxTau
+		if err := b.SendNow(ack); err == nil {
+			b.deliverData(b.rxDataFrame, false)
+		}
+	}
+	b.role = RoleIdle
+	b.rxSender = packet.Nobody
+	b.rxDataFrame = nil
+	b.rxGotData = false
+}
+
+// deliverData counts a received payload exactly once per (origin, seq).
+func (b *Base) deliverData(f *packet.Frame, extra bool) {
+	key := uint64(f.Origin)<<32 | uint64(f.Seq)
+	if _, dup := b.seen[key]; dup {
+		b.counters.DuplicatesRx++
+		return
+	}
+	b.seen[key] = struct{}{}
+	b.counters.DeliveredPackets++
+	b.counters.DeliveredBits += uint64(f.DataBits)
+	if extra {
+		b.counters.ExtraDeliveredPackets++
+	}
+	b.counters.LatencySum += b.cfg.Engine.Now().Duration() - f.GeneratedAt
+}
+
+// DeliverData exposes delivery accounting to protocol hooks handling
+// extra data frames (EXData, StolenData).
+func (b *Base) DeliverData(f *packet.Frame, extra bool) { b.deliverData(f, extra) }
+
+// failRound aborts the current sender round, leaving the packet at the
+// queue head and backing off.
+func (b *Base) failRound(s int64) {
+	b.role = RoleIdle
+	b.curAttempts++
+	if b.cfg.MaxRetries > 0 && b.curAttempts >= b.cfg.MaxRetries {
+		b.queue.Pop()
+		b.curAttempts = 0
+		b.headSince = s
+	}
+	b.hasCur = false
+	b.backoffLeft = 1 + b.rng.Intn(b.cw)
+	if b.cw < b.cfg.CWMax {
+		b.cw *= 2
+		if b.cw > b.cfg.CWMax {
+			b.cw = b.cfg.CWMax
+		}
+	}
+}
+
+// CompleteHead removes the queue head if it matches (origin, seq) —
+// used by protocols when an extra exchange delivers the head packet —
+// and resets the sender round.
+func (b *Base) CompleteHead(origin packet.NodeID, seq uint32) bool {
+	head, ok := b.queue.Peek()
+	if !ok || head.Origin != origin || head.Seq != seq {
+		return false
+	}
+	b.queue.Pop()
+	b.curAttempts = 0
+	b.cw = b.cfg.CWMin
+	b.hasCur = false
+	b.headSince = b.cfg.Slots.SlotAt(b.cfg.Engine.Now())
+	b.counters.AckedPackets++
+	return true
+}
+
+// CompleteBySeq removes the first queued packet matching (origin, seq)
+// wherever it sits (ROPA appends out of FIFO order).
+func (b *Base) CompleteBySeq(origin packet.NodeID, seq uint32) bool {
+	for i, p := range b.queue.Items() {
+		if p.Origin == origin && p.Seq == seq {
+			b.queue.RemoveAt(i)
+			b.counters.AckedPackets++
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Schedule introspection (used by extra-communication paths) ----
+
+// PrimaryFreeAt returns the earliest instant at which this node's
+// current primary exchange, including its final Ack, will be over —
+// the start of the paper's period IV/VI, where granted extra data may
+// arrive. For an idle node it is simply now.
+func (b *Base) PrimaryFreeAt() sim.Time {
+	s := b.cfg.Slots
+	switch b.role {
+	case RoleWaitData:
+		// I send the Ack at rxAckSlot.
+		return s.StartOf(b.rxAckSlot).Add(s.CtrlDur())
+	case RoleWaitCTS:
+		// Not yet negotiated: assume success and budget through the
+		// Ack arrival (conservative for granting).
+		ack := s.AckSlot(b.rtsSlot+2, b.DataTx(b.cur.Bits), b.curTau)
+		return s.StartOf(ack).Add(b.curTau + s.CtrlDur())
+	case RoleSendData:
+		ack := s.AckSlot(b.dataSlot, b.DataTx(b.cur.Bits), b.curTau)
+		return s.StartOf(ack).Add(b.curTau + s.CtrlDur())
+	case RoleWaitAck:
+		return s.StartOf(b.ackDeadline - 1).Add(b.curTau + s.CtrlDur())
+	default:
+		return b.cfg.Engine.Now()
+	}
+}
+
+// NextBusyAt returns the next instant at which this node must transmit
+// or receive for its primary exchange, and whether such an instant
+// exists. The gap between now and that instant is the idle window an
+// extra-communication reply (EXC) must fit into.
+func (b *Base) NextBusyAt() (sim.Time, bool) {
+	s := b.cfg.Slots
+	now := b.cfg.Engine.Now()
+	var cands []sim.Time
+	switch b.role {
+	case RoleWaitData:
+		cands = []sim.Time{
+			s.StartOf(b.rxDataSlot).Add(b.rxTau), // data starts arriving
+			s.StartOf(b.rxAckSlot),               // I transmit the Ack
+		}
+	case RoleWaitCTS:
+		cands = []sim.Time{
+			s.StartOf(b.rtsSlot + 1).Add(b.curTau), // CTS arrives
+			s.StartOf(b.rtsSlot + 2),               // data would go out
+		}
+	case RoleSendData:
+		cands = []sim.Time{s.StartOf(b.dataSlot)}
+	case RoleWaitAck:
+		cands = []sim.Time{s.StartOf(b.ackDeadline - 1).Add(b.curTau)}
+	default:
+		return 0, false
+	}
+	for _, c := range cands {
+		if !c.Before(now) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// InPrimaryExchange reports whether the node is a party to an ongoing
+// primary handshake.
+func (b *Base) InPrimaryExchange() bool { return b.role != RoleIdle }
+
+// CurrentPacket returns the packet of the in-flight sender round.
+func (b *Base) CurrentPacket() (AppPacket, bool) { return b.cur, b.hasCur }
+
+// ---- PHY listener ----
+
+var _ phy.Listener = (*Base)(nil)
+
+// OnFrameReceived implements phy.Listener.
+func (b *Base) OnFrameReceived(f *packet.Frame) {
+	now := b.cfg.Engine.Now()
+	b.table.Observe(f, now, b.FrameTx(f))
+	// Learn third-party pair delays from overheard negotiation frames.
+	if f.PairDelay > 0 && f.Dst != b.cfg.ID && f.Dst != packet.Broadcast {
+		b.table.ObservePair(f.Dst, f.PairDelay, now)
+	}
+
+	switch f.Kind {
+	case packet.KindHello, packet.KindNbrUpdate:
+		b.hooks.OnOverheard(f)
+	case packet.KindRTS:
+		b.onRTS(f)
+	case packet.KindCTS:
+		b.onCTS(f, now)
+	case packet.KindData:
+		b.onData(f)
+	case packet.KindAck:
+		b.onAck(f)
+	default:
+		if f.Dst == b.cfg.ID {
+			b.hooks.OnExtraFrame(f)
+		} else {
+			b.hooks.OnOverheard(f)
+		}
+	}
+}
+
+func (b *Base) onRTS(f *packet.Frame) {
+	sendSlot := b.cfg.Slots.SlotAt(sim.At(f.Timestamp))
+	if f.Dst == b.cfg.ID {
+		b.rtsCands[sendSlot] = append(b.rtsCands[sendSlot], f)
+		return
+	}
+	b.ledger.ObserveRTS(f, sendSlot, b.DataTx(f.DataBits))
+	if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
+		// My target is itself contending for someone else.
+		b.hooks.OnContentionLost(f)
+	}
+	b.hooks.OnOverheard(f)
+}
+
+func (b *Base) onCTS(f *packet.Frame, now sim.Time) {
+	ctsSlot := b.cfg.Slots.SlotAt(sim.At(f.Timestamp))
+	if f.Dst == b.cfg.ID {
+		if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
+			// Negotiated: data goes out at the next slot boundary.
+			if tau, ok := b.table.Delay(f.Src, now); ok {
+				b.curTau = tau
+			}
+			b.role = RoleSendData
+			b.dataSlot = ctsSlot + 1
+			b.hooks.OnNegotiated(f)
+		}
+		return
+	}
+	b.ledger.ObserveCTS(f, ctsSlot, b.DataTx(f.DataBits))
+	if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
+		// My target granted someone else.
+		b.hooks.OnContentionLost(f)
+	}
+	b.hooks.OnOverheard(f)
+}
+
+func (b *Base) onData(f *packet.Frame) {
+	if f.Dst == b.cfg.ID {
+		if b.role == RoleWaitData && f.Src == b.rxSender {
+			b.rxGotData = true
+			b.rxDataFrame = f
+		}
+		return
+	}
+	// Overheard data from an exchange we may have missed: make sure the
+	// ledger covers it so we stay quiet through its Ack.
+	dataSlot := b.cfg.Slots.SlotAt(sim.At(f.Timestamp))
+	if e := b.ledger.Lookup(f.Src, f.Dst); e == nil {
+		tau := f.PairDelay
+		if tau <= 0 {
+			tau = b.cfg.Slots.TauMax
+		}
+		b.ledger.exchanges = append(b.ledger.exchanges, &Exchange{
+			Sender:    f.Src,
+			Receiver:  f.Dst,
+			RTSSlot:   dataSlot - 2,
+			PairDelay: tau,
+			DataTx:    b.FrameTx(f),
+			Confirmed: true,
+		})
+	}
+	b.hooks.OnOverheard(f)
+}
+
+func (b *Base) onAck(f *packet.Frame) {
+	if f.Dst == b.cfg.ID {
+		if b.role == RoleWaitAck && f.Src == b.cur.Dst && f.Seq == b.cur.Seq {
+			b.queue.Pop()
+			b.counters.AckedPackets++
+			b.curAttempts = 0
+			b.cw = b.cfg.CWMin
+			b.hasCur = false
+			b.role = RoleIdle
+			b.headSince = b.cfg.Slots.SlotAt(b.cfg.Engine.Now())
+		}
+		return
+	}
+	b.hooks.OnOverheard(f)
+}
+
+// OnFrameLost implements phy.Listener. Losses are invisible to real
+// MACs, so the base ignores them; protocol wrappers that want loss
+// statistics can shadow this method.
+func (b *Base) OnFrameLost(*packet.Frame, phy.LossReason) {}
+
+// OnTxDone implements phy.Listener.
+func (b *Base) OnTxDone(*packet.Frame) {}

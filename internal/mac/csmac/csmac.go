@@ -1,0 +1,280 @@
+// Package csmac implements the Channel Stealing MAC (Chen, Liu, Chang &
+// Shih, OCEANS 2011) as characterized in the paper's evaluation (§5):
+// a node that overhears a CTS — so it can compute, from the
+// piggybacked pair delay, the gap during which the CTS sender sits
+// idle waiting for the negotiated data — transmits its own data packet
+// for that node *directly*, with no extra negotiation, timed to be
+// fully received inside the gap, i.e. before the negotiated packet
+// arrives ("send data packets directly after determining that the
+// packet will arrive at the receiver before the negotiated packet").
+//
+// The aggression is the point: at light load stealing is competitive
+// with EW-MAC because it skips the EXR/EXC round trip, but CS-MAC does
+// not coordinate stealers, so as load grows several neighbors steal
+// the same gap and collide (Figure 6), and as density grows the gaps
+// themselves shrink below a data transmission time (Figure 7). CS-MAC
+// also piggybacks two-hop neighbor state on every control frame and
+// refreshes it periodically, the overhead that dominates Figure 10.
+package csmac
+
+import (
+	"time"
+
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// Options tune CS-MAC; the zero value matches the evaluation setup.
+type Options struct {
+	// Guard is the scheduling safety margin (default 2 ms).
+	Guard time.Duration
+	// UpdatePeriod is the interval between NbrUpdate broadcasts
+	// (default 75 s).
+	UpdatePeriod time.Duration
+	// MaintenanceEntries caps neighbor entries per NbrUpdate broadcast
+	// (default 8; entries rotate across broadcasts).
+	MaintenanceEntries int
+	// PiggybackEntries caps neighbor entries per control frame
+	// (default 4 — two-hop state, so heavier than EW-MAC's single
+	// pair entry).
+	PiggybackEntries int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Guard <= 0 {
+		o.Guard = 2 * time.Millisecond
+	}
+	if o.UpdatePeriod <= 0 {
+		o.UpdatePeriod = 75 * time.Second
+	}
+	if o.MaintenanceEntries <= 0 {
+		o.MaintenanceEntries = 8
+	}
+	if o.PiggybackEntries <= 0 {
+		o.PiggybackEntries = 4
+	}
+}
+
+type stealState struct {
+	pkt     mac.AppPacket
+	timeout *sim.Handle
+}
+
+// MAC is the CS-MAC protocol.
+type MAC struct {
+	*mac.Base
+	opts       Options
+	steal      *stealState
+	lastUpdate sim.Time
+	rotCursor  int
+}
+
+var _ mac.Protocol = (*MAC)(nil)
+
+// New builds a CS-MAC node.
+func New(cfg mac.Config, opts Options) (*MAC, error) {
+	opts.applyDefaults()
+	cfg.LenientGrant = false
+	// Control frames carry up to PiggybackEntries neighbor entries.
+	cfg.Slots.Pad = packet.Duration(opts.PiggybackEntries*packet.NeighborInfoBits, cfg.BitRate)
+	base, err := mac.NewBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &MAC{Base: base, opts: opts}
+	base.SetHooks(m)
+	// Stagger the periodic maintenance phase per node so updates do not
+	// synchronize into collision storms.
+	m.lastUpdate = sim.At(-time.Duration(base.RNG().Int63n(int64(opts.UpdatePeriod))))
+	return m, nil
+}
+
+// Name implements mac.Protocol.
+func (m *MAC) Name() string { return "CS-MAC" }
+
+// PickWinner implements mac.Hooks.
+func (m *MAC) PickWinner(cands []*packet.Frame) *packet.Frame {
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[0]
+}
+
+// Piggyback implements mac.Hooks: every control frame carries a
+// two-hop-state excerpt whose size grows with neighborhood density.
+func (m *MAC) Piggyback(f *packet.Frame) {
+	if f.Kind == packet.KindNbrUpdate {
+		return
+	}
+	snap := m.Table().Snapshot(m.Engine().Now(), m.opts.PiggybackEntries)
+	f.Neighbors = append(f.Neighbors, snap...)
+}
+
+// OnSlotStart implements mac.Hooks: periodic maintenance.
+func (m *MAC) OnSlotStart(int64) {
+	now := m.Engine().Now()
+	if now.Sub(m.lastUpdate) < m.opts.UpdatePeriod {
+		return
+	}
+	if m.Role() != mac.RoleIdle || m.Held() || m.Modem().Transmitting() {
+		return
+	}
+	if m.Ledger().QuietUntilSlot() > m.Slots().SlotAt(now) {
+		return
+	}
+	upd := m.NewFrame(packet.KindNbrUpdate, packet.Broadcast)
+	upd.Neighbors = m.rotatingSnapshot(now, m.opts.MaintenanceEntries)
+	if err := m.SendNow(upd); err != nil {
+		return
+	}
+	m.lastUpdate = now
+	m.CountersRef().MaintenanceBits += uint64(upd.Bits())
+}
+
+// rotatingSnapshot returns up to max entries from the table, starting
+// at a cursor that advances each broadcast so the whole two-hop state
+// circulates over successive updates without monster frames.
+func (m *MAC) rotatingSnapshot(now sim.Time, max int) []packet.NeighborInfo {
+	full := m.Table().Snapshot(now, -1)
+	if len(full) == 0 {
+		return nil
+	}
+	if len(full) <= max {
+		return full
+	}
+	out := make([]packet.NeighborInfo, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, full[(m.rotCursor+i)%len(full)])
+	}
+	m.rotCursor = (m.rotCursor + max) % len(full)
+	return out
+}
+
+// OnContentionLost implements mac.Hooks.
+func (m *MAC) OnContentionLost(*packet.Frame) {}
+
+// OnNegotiated implements mac.Hooks.
+func (m *MAC) OnNegotiated(*packet.Frame) {}
+
+// OnOverheard implements mac.Hooks: an overheard CTS opens a stealing
+// opportunity. The CTS sender j is about to sit idle for the whole
+// CTS→Data propagation gap (period V of the paper's Figure 2); if this
+// node has data *for j* whose transmission fits inside that gap — "the
+// data packet transmission time is less than the propagation time
+// between two packets", the CS-MAC admission rule quoted in the
+// paper's §2 — it transmits the data directly, with no negotiation,
+// timed to be fully received at j before the negotiated data lands.
+// j acknowledges after its negotiated exchange completes.
+//
+// CS-MAC checks nothing else: in particular it ignores the possibility
+// that several of j's neighbors steal the same gap concurrently, which
+// is exactly why its throughput collapses under load (Figure 6) and
+// why shrinking gaps (denser networks, Figure 7) starve it.
+func (m *MAC) OnOverheard(f *packet.Frame) {
+	if f.Kind != packet.KindCTS || m.steal != nil || m.Held() {
+		return
+	}
+	if m.Role() != mac.RoleIdle {
+		return
+	}
+	j := f.Src
+	tauPair := f.PairDelay
+	if tauPair <= 0 {
+		return
+	}
+	idx := m.Queue().FirstFor(j)
+	if idx < 0 {
+		return
+	}
+	now := m.Engine().Now()
+	tau, known := m.Table().Delay(j, now)
+	if !known {
+		return
+	}
+	pkt := m.Queue().Items()[idx]
+	dur := m.DataTx(pkt.Bits)
+
+	// Admission: TD must fit inside the pair's propagation gap, and the
+	// whole steal must be received at j before the negotiated data
+	// lands there.
+	if dur+m.opts.Guard > tauPair {
+		return
+	}
+	slots := m.Slots()
+	ctsSlot := slots.SlotAt(sim.At(f.Timestamp))
+	dataLands := slots.StartOf(ctsSlot + 1).Add(tauPair)
+	sendT := now.Add(m.opts.Guard)
+	if sendT.Add(tau + dur + m.opts.Guard).After(dataLands) {
+		return
+	}
+
+	data := m.NewFrame(packet.KindStolenData, j)
+	data.DataBits = pkt.Bits
+	data.Seq = pkt.Seq
+	data.Origin = pkt.Origin
+	data.GeneratedAt = pkt.GeneratedAt
+	st := &stealState{pkt: pkt}
+	m.steal = st
+	// j acknowledges only after its negotiated exchange: wait through
+	// that exchange's ack slot plus the return propagation.
+	ackSlot := slots.AckSlot(ctsSlot+1, m.DataTx(f.DataBits), tauPair)
+	deadline := slots.StartOf(ackSlot + 1).Add(tau + m.ControlTx() + 8*m.opts.Guard)
+	m.SetHold(deadline)
+	m.SendAt(sendT, data, func(error) { m.abort(st, false) })
+	m.CountersRef().ExtraAttempts++
+	st.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+		if m.steal == st {
+			m.abort(st, true)
+		}
+	})
+}
+
+// abort clears the steal; failed counts the lost data as a
+// retransmission (the payload went on air and must be sent again).
+func (m *MAC) abort(st *stealState, failed bool) {
+	if m.steal != st {
+		return
+	}
+	if failed {
+		m.CountersRef().Retransmissions++
+		m.CountersRef().RetransmittedBits += uint64(st.pkt.Bits)
+	}
+	if st.timeout != nil {
+		st.timeout.Cancel()
+	}
+	m.steal = nil
+	m.SetHold(m.Engine().Now())
+}
+
+// OnExtraFrame implements mac.Hooks.
+func (m *MAC) OnExtraFrame(f *packet.Frame) {
+	switch f.Kind {
+	case packet.KindStolenData:
+		m.DeliverData(f, true)
+		ack := m.NewFrame(packet.KindEXAck, f.Src)
+		ack.Seq = f.Seq
+		ack.Origin = f.Origin
+		// The stolen data landed in this node's waiting window; the
+		// acknowledgement must wait until the negotiated exchange is
+		// over or it would occupy the transducer when the negotiated
+		// data arrives.
+		at := m.PrimaryFreeAt().Add(m.opts.Guard)
+		if at.Before(m.Engine().Now()) {
+			at = m.Engine().Now()
+		}
+		m.SendAt(at, ack, nil)
+	case packet.KindEXAck:
+		st := m.steal
+		if st == nil || f.Seq != st.pkt.Seq {
+			return
+		}
+		m.CountersRef().ExtraCompletions++
+		m.CompleteBySeq(st.pkt.Origin, st.pkt.Seq)
+		m.abort(st, false)
+	default:
+	}
+}
+
+// StealActive reports whether a steal is in flight (tests).
+func (m *MAC) StealActive() bool { return m.steal != nil }

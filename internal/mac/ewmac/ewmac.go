@@ -1,0 +1,405 @@
+// Package ewmac implements EW-MAC, the paper's contribution: a slotted
+// four-way-handshake MAC that exploits the waiting resources other
+// protocols leave idle.
+//
+// Mechanism (paper §4): a node i that loses RTS contention for its
+// target j — because j answered a higher-priority contender k, or
+// because j itself contended toward k — knows, from the overheard
+// negotiation frame and its one-hop propagation-delay table, exactly
+// when j is idle for the rest of the exchange. It requests an extra
+// communication by sending EXR inside j's idle window (periods I/III/V
+// of Figure 2); j answers EXC with a grant time derived from its own
+// schedule (Equations (5)/(6)); i then transmits EXData so it begins
+// arriving at j exactly when j has finished its negotiated exchange,
+// and j confirms with EXAck. Before every extra transmission, i checks
+// that the frame's arrival at every neighbor it knows to be involved
+// in a negotiation misses that neighbor's predicted receive windows —
+// extra communication must never interfere with negotiated
+// communication.
+package ewmac
+
+import (
+	"time"
+
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// Options tune EW-MAC; the zero value is the paper's protocol.
+type Options struct {
+	// DisableNeighborGuard turns off the neighbor-interference
+	// admission check (ablation: degrades EW-MAC toward CS-MAC's
+	// collision-prone stealing).
+	DisableNeighborGuard bool
+	// Guard is the scheduling safety margin around busy windows.
+	// Defaults to 2 ms.
+	Guard time.Duration
+	// UniformPriority disables the wait-time boost in rp (ablation for
+	// the fairness design choice). The boost itself lives in the base;
+	// this zeroes the candidate ordering advantage instead of the
+	// generation.
+	UniformPriority bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.Guard <= 0 {
+		o.Guard = 2 * time.Millisecond
+	}
+}
+
+type extraPhase uint8
+
+const (
+	phaseRequested extraPhase = iota + 1
+	phaseGranted
+	phaseDataSent
+)
+
+// extraAttempt is the sender-side state of one extra communication.
+type extraAttempt struct {
+	target  packet.NodeID
+	pkt     mac.AppPacket
+	phase   extraPhase
+	timeout *sim.Handle
+}
+
+// grantedExtra is the receiver-side record of an extra grant.
+type grantedExtra struct {
+	from packet.NodeID
+	bits int
+	at   sim.Time
+}
+
+// MAC is the EW-MAC protocol.
+type MAC struct {
+	*mac.Base
+	opts    Options
+	extra   *extraAttempt
+	granted *grantedExtra
+}
+
+var _ mac.Protocol = (*MAC)(nil)
+
+// New builds an EW-MAC node.
+func New(cfg mac.Config, opts Options) (*MAC, error) {
+	opts.applyDefaults()
+	// EW-MAC receivers arbitrate concurrent RTS attempts by priority
+	// rather than deferring on every overheard RTS (paper §3.1).
+	cfg.LenientGrant = true
+	// Control frames carry one piggybacked pair entry.
+	cfg.Slots.Pad = packet.Duration(packet.NeighborInfoBits, cfg.BitRate)
+	base, err := mac.NewBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &MAC{Base: base, opts: opts}
+	base.SetHooks(m)
+	return m, nil
+}
+
+// Name implements mac.Protocol.
+func (m *MAC) Name() string { return "EW-MAC" }
+
+// PickWinner implements mac.Hooks: highest random priority wins
+// (paper §3.1). Ties break toward the earlier arrival.
+func (m *MAC) PickWinner(cands []*packet.Frame) *packet.Frame {
+	if len(cands) == 0 {
+		return nil
+	}
+	if m.opts.UniformPriority {
+		return cands[0]
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.RP > best.RP {
+			best = c
+		}
+	}
+	return best
+}
+
+// Piggyback implements mac.Hooks: EW-MAC appends exactly one neighbor
+// entry — the delay to the frame's counterpart — never two-hop state
+// (paper §4.3; this is why its overhead stays flat in Figure 10b).
+func (m *MAC) Piggyback(f *packet.Frame) {
+	if f.Dst == packet.Broadcast || f.PairDelay <= 0 {
+		return
+	}
+	f.Neighbors = append(f.Neighbors, packet.NeighborInfo{ID: f.Dst, Delay: f.PairDelay})
+}
+
+// OnSlotStart implements mac.Hooks.
+func (m *MAC) OnSlotStart(int64) {}
+
+// OnNegotiated implements mac.Hooks.
+func (m *MAC) OnNegotiated(*packet.Frame) {}
+
+// OnOverheard implements mac.Hooks: base bookkeeping suffices.
+func (m *MAC) OnOverheard(*packet.Frame) {}
+
+// OnContentionLost implements mac.Hooks: this is the entry to the
+// "Asking Extra Commu" state of Figure 3. cause is the overheard frame
+// that told us j is busy: a CTS from j to the winner (j is the
+// receiver of the other exchange) or an RTS from j to its own target
+// (j is the sender).
+func (m *MAC) OnContentionLost(cause *packet.Frame) {
+	if m.extra != nil || m.granted != nil {
+		return
+	}
+	pkt, ok := m.Queue().Peek()
+	if !ok || pkt.Dst != cause.Src {
+		return
+	}
+	now := m.Engine().Now()
+	tau, known := m.Table().Delay(cause.Src, now)
+	if !known {
+		return
+	}
+
+	// j's idle window for the EXR, per Figure 2: after j finished
+	// transmitting `cause`, before the next frame of j's exchange
+	// reaches it (CTS if j is a sender, Data if j is a receiver —
+	// either way, one slot after `cause`, delayed by the pair delay).
+	slots := m.Slots()
+	causeSlot := slots.SlotAt(sim.At(cause.Timestamp))
+	winStart := slots.StartOf(causeSlot).Add(m.FrameTx(cause) + m.opts.Guard)
+	winEnd := slots.StartOf(causeSlot + 1).Add(cause.PairDelay - m.opts.Guard)
+
+	exr := m.NewFrame(packet.KindEXR, cause.Src)
+	exr.DataBits = pkt.Bits
+	m.Piggyback(exr) // sized before scheduling so duration is exact
+	exrDur := m.FrameTx(exr)
+
+	sendT := now.Add(m.opts.Guard)
+	if earliest := winStart.Add(-tau); sendT.Before(earliest) {
+		sendT = earliest
+	}
+	arrivalStart := sendT.Add(tau)
+	arrivalEnd := arrivalStart.Add(exrDur)
+	if arrivalEnd.After(winEnd) {
+		return // window too small — give up (paper: back to Quiet)
+	}
+	if !m.clearAtNeighbors(sendT, exrDur, cause.Src) {
+		return
+	}
+
+	att := &extraAttempt{target: cause.Src, pkt: pkt, phase: phaseRequested}
+	m.extra = att
+	// EXC should be back after roughly twice the propagation delay
+	// (paper §4.2); time out shortly after.
+	deadline := sendT.Add(2*tau + exrDur + m.ControlTx() + 4*m.opts.Guard)
+	m.SetHold(deadline)
+	m.SendAt(sendT, exr, func(error) { m.abortExtra(att) })
+	m.CountersRef().ExtraAttempts++
+	att.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+		if m.extra == att && att.phase == phaseRequested {
+			m.abortExtra(att)
+		}
+	})
+}
+
+// clearAtNeighbors checks that a transmission starting at sendT with
+// the given duration, arriving at every neighbor this node knows to be
+// party to a negotiation, misses that neighbor's predicted receive
+// windows. target is excluded (its window was checked explicitly).
+// Returns true when the transmission is safe (or the guard is disabled
+// for ablation).
+func (m *MAC) clearAtNeighbors(sendT sim.Time, dur time.Duration, target packet.NodeID) bool {
+	if m.opts.DisableNeighborGuard {
+		return true
+	}
+	now := m.Engine().Now()
+	for _, n := range m.Ledger().BusyParties() {
+		if n == target || n == m.ID() {
+			continue
+		}
+		tau, known := m.Table().Delay(n, now)
+		if !known {
+			// Cannot predict the arrival time at this party: the paper
+			// requires certainty, so give up.
+			return false
+		}
+		iv := mac.Interval{
+			Start: sendT.Add(tau - m.opts.Guard),
+			End:   sendT.Add(tau + dur + m.opts.Guard),
+		}
+		if m.Ledger().RxConflict(n, iv) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *MAC) abortExtra(att *extraAttempt) {
+	if m.extra != att {
+		return
+	}
+	if att.timeout != nil {
+		att.timeout.Cancel()
+	}
+	m.extra = nil
+	m.SetHold(m.Engine().Now()) // release the base engine
+}
+
+// OnExtraFrame implements mac.Hooks: EXR/EXC/EXData/EXAck addressed to
+// this node.
+func (m *MAC) OnExtraFrame(f *packet.Frame) {
+	switch f.Kind {
+	case packet.KindEXR:
+		m.onEXR(f)
+	case packet.KindEXC:
+		m.onEXC(f)
+	case packet.KindEXData:
+		m.onEXData(f)
+	case packet.KindEXAck:
+		m.onEXAck(f)
+	default:
+		// RTA/StolenData belong to other protocols; EW-MAC ignores
+		// them.
+	}
+}
+
+// onEXR runs at the negotiated node j: grant if the EXC reply fits in
+// the current idle window and the extra data can arrive after the
+// primary exchange completes.
+func (m *MAC) onEXR(f *packet.Frame) {
+	if m.granted != nil {
+		return // one extra grant at a time
+	}
+	now := m.Engine().Now()
+	exc := m.NewFrame(packet.KindEXC, f.Src)
+	exc.DataBits = f.DataBits
+	m.Piggyback(exc)
+	excDur := m.FrameTx(exc)
+
+	// The EXC must fit strictly inside my idle gap, and its arrival at
+	// every other negotiated neighbor must miss their receive windows
+	// (extra control packets are themselves extra communication, §4.2).
+	if busyAt, busy := m.NextBusyAt(); busy {
+		if now.Add(excDur + m.opts.Guard).After(busyAt) {
+			return
+		}
+	}
+	if !m.clearAtNeighbors(now, excDur, f.Src) {
+		return
+	}
+	grantAt := m.PrimaryFreeAt().Add(2 * m.opts.Guard)
+	exc.GrantAt = grantAt.Duration()
+	if err := m.SendNow(exc); err != nil {
+		return
+	}
+	dataDur := m.DataTx(f.DataBits)
+	m.granted = &grantedExtra{from: f.Src, bits: f.DataBits, at: grantAt}
+	// Suspend contention until the granted exchange (EXData + EXAck)
+	// is over; release early if the data never shows.
+	release := grantAt.Add(dataDur + m.ControlTx() + 8*m.opts.Guard)
+	m.SetHold(release)
+	g := m.granted
+	m.Engine().MustScheduleAt(release, sim.PriorityMAC, func() {
+		if m.granted == g {
+			m.granted = nil
+			m.SetHold(m.Engine().Now())
+		}
+	})
+}
+
+// onEXC runs at the requester i: schedule the EXData so it begins
+// arriving at j at the granted instant (Equation (6): send at
+// grant − τij).
+func (m *MAC) onEXC(f *packet.Frame) {
+	att := m.extra
+	if att == nil || att.phase != phaseRequested || f.Src != att.target {
+		return
+	}
+	m.CountersRef().ExtraGrants++
+	now := m.Engine().Now()
+	tau, known := m.Table().Delay(att.target, now)
+	grantAt := sim.At(f.GrantAt)
+	sendT := grantAt.Add(-tau)
+	dataDur := m.DataTx(att.pkt.Bits)
+	if !known || sendT.Before(now.Add(m.opts.Guard)) ||
+		!m.clearAtNeighbors(sendT, dataDur, att.target) {
+		m.abortExtra(att)
+		return
+	}
+	if att.timeout != nil {
+		att.timeout.Cancel()
+	}
+	att.phase = phaseGranted
+
+	data := m.NewFrame(packet.KindEXData, att.target)
+	data.DataBits = att.pkt.Bits
+	data.Seq = att.pkt.Seq
+	data.Origin = att.pkt.Origin
+	data.GeneratedAt = att.pkt.GeneratedAt
+	deadline := sendT.Add(dataDur + 2*tau + m.ControlTx() + 8*m.opts.Guard)
+	m.SetHold(deadline)
+	// The grant can lie seconds ahead; new negotiations may begin in
+	// the meantime. Re-run the neighbor admission check at the actual
+	// send instant — extra communication must never interfere with a
+	// negotiated exchange, including ones younger than the grant.
+	m.Engine().MustScheduleAt(sendT, sim.PriorityMAC, func() {
+		if m.extra != att {
+			return
+		}
+		if !m.clearAtNeighbors(m.Engine().Now(), dataDur, att.target) {
+			m.abortExtra(att)
+			return
+		}
+		if err := m.SendNow(data); err != nil {
+			m.abortExtra(att)
+			return
+		}
+		att.phase = phaseDataSent
+	})
+	att.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+		if m.extra == att {
+			m.abortExtra(att)
+		}
+	})
+}
+
+// onEXData runs at j: the extra payload arrived after the negotiated
+// exchange; deliver and confirm.
+func (m *MAC) onEXData(f *packet.Frame) {
+	m.DeliverData(f, true)
+	ack := m.NewFrame(packet.KindEXAck, f.Src)
+	ack.Seq = f.Seq
+	ack.Origin = f.Origin
+	_ = m.SendNow(ack) // if the transducer is busy the sender retries normally
+	if m.granted != nil && m.granted.from == f.Src {
+		m.granted = nil
+		m.SetHold(m.Engine().Now())
+	}
+}
+
+// onEXAck completes the extra exchange at i.
+func (m *MAC) onEXAck(f *packet.Frame) {
+	att := m.extra
+	if att == nil || f.Src != att.target || f.Seq != att.pkt.Seq {
+		return
+	}
+	m.CountersRef().ExtraCompletions++
+	if !m.CompleteHead(att.pkt.Origin, att.pkt.Seq) {
+		m.CompleteBySeq(att.pkt.Origin, att.pkt.Seq)
+	}
+	if att.timeout != nil {
+		att.timeout.Cancel()
+	}
+	m.extra = nil
+	m.SetHold(m.Engine().Now())
+}
+
+// ExtraActive reports whether an extra attempt is in flight (tests).
+func (m *MAC) ExtraActive() bool { return m.extra != nil }
+
+// GrantActive reports whether this node has granted an extra exchange
+// (tests).
+func (m *MAC) GrantActive() bool { return m.granted != nil }
+
+// ClearAtNeighborsForTest exposes the admission check to tests and the
+// ablation benches.
+func (m *MAC) ClearAtNeighborsForTest(sendT sim.Time, dur time.Duration, target packet.NodeID) bool {
+	return m.clearAtNeighbors(sendT, dur, target)
+}

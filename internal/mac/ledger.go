@@ -1,0 +1,255 @@
+package mac
+
+import (
+	"sort"
+	"time"
+
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// Interval is a half-open busy window [Start, End).
+type Interval struct {
+	Start, End sim.Time
+}
+
+// Overlaps reports whether two intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// Exchange is one overheard primary negotiation. From an RTS/CTS pair a
+// bystander can predict, to the microsecond, when each party transmits
+// and receives for the rest of the four-way handshake (paper §4.2):
+// that prediction is what makes safe extra communication possible.
+type Exchange struct {
+	// Sender initiated with RTS and will transmit the data.
+	Sender packet.NodeID
+	// Receiver answers with CTS, receives data, sends Ack.
+	Receiver packet.NodeID
+	// RTSSlot is the slot the RTS was sent in.
+	RTSSlot int64
+	// PairDelay is τ between sender and receiver (piggybacked).
+	PairDelay time.Duration
+	// DataTx is the announced data transmission time.
+	DataTx time.Duration
+	// Confirmed is true once the CTS has been overheard.
+	Confirmed bool
+}
+
+// DataSlot returns the slot the data transmission starts in.
+func (e *Exchange) DataSlot() int64 { return e.RTSSlot + 2 }
+
+// AckSlot returns the receiver's Ack slot per Equation (5).
+func (e *Exchange) AckSlot(s SlotConfig) int64 {
+	return s.AckSlot(e.DataSlot(), e.DataTx, e.PairDelay)
+}
+
+// EndSlot returns the first slot after the exchange completes.
+func (e *Exchange) EndSlot(s SlotConfig) int64 {
+	if !e.Confirmed {
+		// A speculative exchange (RTS only) either confirms in slot
+		// t+1 or dies.
+		return e.RTSSlot + 2
+	}
+	return e.AckSlot(s) + 1
+}
+
+// rxWindows returns when node id is receiving within this exchange
+// (empty if id is not a party).
+func (e *Exchange) rxWindows(s SlotConfig, id packet.NodeID) []Interval {
+	var out []Interval
+	switch id {
+	case e.Sender:
+		// CTS arrives in slot t+1; Ack arrives in the ack slot.
+		ctsAt := s.StartOf(e.RTSSlot + 1).Add(e.PairDelay)
+		out = append(out, Interval{ctsAt, ctsAt.Add(s.CtrlDur())})
+		if e.Confirmed {
+			ackAt := s.StartOf(e.AckSlot(s)).Add(e.PairDelay)
+			out = append(out, Interval{ackAt, ackAt.Add(s.CtrlDur())})
+		}
+	case e.Receiver:
+		// RTS already arrived (past); data arrives in slot t+2.
+		if e.Confirmed {
+			dataAt := s.StartOf(e.DataSlot()).Add(e.PairDelay)
+			out = append(out, Interval{dataAt, dataAt.Add(e.DataTx)})
+		}
+	}
+	return out
+}
+
+// txWindows returns when node id is transmitting within this exchange.
+func (e *Exchange) txWindows(s SlotConfig, id packet.NodeID) []Interval {
+	var out []Interval
+	switch id {
+	case e.Sender:
+		rts := s.StartOf(e.RTSSlot)
+		out = append(out, Interval{rts, rts.Add(s.CtrlDur())})
+		if e.Confirmed {
+			data := s.StartOf(e.DataSlot())
+			out = append(out, Interval{data, data.Add(e.DataTx)})
+		}
+	case e.Receiver:
+		cts := s.StartOf(e.RTSSlot + 1)
+		out = append(out, Interval{cts, cts.Add(s.CtrlDur())})
+		if e.Confirmed {
+			ack := s.StartOf(e.AckSlot(s))
+			out = append(out, Interval{ack, ack.Add(s.CtrlDur())})
+		}
+	}
+	return out
+}
+
+// Ledger tracks the negotiations a node has overheard, answering two
+// questions: "until which slot must I stay quiet?" (the S-FAMA defer
+// rule every protocol here inherits) and "would a transmission of mine,
+// arriving at neighbor n during [a, b), interfere with anything I know
+// n is doing?" (the EW-MAC extra-communication admission check).
+type Ledger struct {
+	slots     SlotConfig
+	exchanges []*Exchange
+}
+
+// NewLedger returns an empty ledger over the given slot geometry.
+func NewLedger(slots SlotConfig) *Ledger {
+	return &Ledger{slots: slots}
+}
+
+// ObserveRTS records a speculative exchange from an overheard RTS.
+func (l *Ledger) ObserveRTS(f *packet.Frame, slot int64, dataTx time.Duration) *Exchange {
+	e := l.find(f.Src, f.Dst)
+	if e == nil {
+		e = &Exchange{Sender: f.Src, Receiver: f.Dst}
+		l.exchanges = append(l.exchanges, e)
+	}
+	e.RTSSlot = slot
+	e.PairDelay = f.PairDelay
+	e.DataTx = dataTx
+	e.Confirmed = false
+	return e
+}
+
+// ObserveCTS confirms (or creates) an exchange from an overheard CTS.
+// The CTS's source is the exchange receiver and its destination the
+// sender; ctsSlot is the slot the CTS was sent in (RTSSlot+1).
+func (l *Ledger) ObserveCTS(f *packet.Frame, ctsSlot int64, dataTx time.Duration) *Exchange {
+	e := l.find(f.Dst, f.Src)
+	if e == nil {
+		e = &Exchange{Sender: f.Dst, Receiver: f.Src}
+		l.exchanges = append(l.exchanges, e)
+	}
+	e.RTSSlot = ctsSlot - 1
+	e.PairDelay = f.PairDelay
+	if dataTx > 0 {
+		e.DataTx = dataTx
+	}
+	e.Confirmed = true
+	return e
+}
+
+func (l *Ledger) find(sender, receiver packet.NodeID) *Exchange {
+	for _, e := range l.exchanges {
+		if e.Sender == sender && e.Receiver == receiver {
+			return e
+		}
+	}
+	return nil
+}
+
+// Lookup returns the tracked exchange between the pair, or nil.
+func (l *Ledger) Lookup(sender, receiver packet.NodeID) *Exchange {
+	return l.find(sender, receiver)
+}
+
+// Prune drops exchanges that ended before the current slot.
+func (l *Ledger) Prune(currentSlot int64) {
+	kept := l.exchanges[:0]
+	for _, e := range l.exchanges {
+		if e.EndSlot(l.slots) > currentSlot {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(l.exchanges); i++ {
+		l.exchanges[i] = nil
+	}
+	l.exchanges = kept
+}
+
+// Len reports tracked exchanges.
+func (l *Ledger) Len() int { return len(l.exchanges) }
+
+// QuietUntilSlot returns the first slot in which this node may contend
+// again: one past the end of every exchange it knows about. This is the
+// slotted-FAMA defer rule.
+func (l *Ledger) QuietUntilSlot() int64 {
+	var until int64
+	for _, e := range l.exchanges {
+		if end := e.EndSlot(l.slots); end > until {
+			until = end
+		}
+	}
+	return until
+}
+
+// QuietUntilSlotConfirmed is QuietUntilSlot over confirmed exchanges
+// only. EW-MAC receivers arbitrate among concurrent RTS attempts by
+// random priority instead of deferring on every overheard RTS (paper
+// §3.1), so their grant decision ignores speculative entries.
+func (l *Ledger) QuietUntilSlotConfirmed() int64 {
+	var until int64
+	for _, e := range l.exchanges {
+		if !e.Confirmed {
+			continue
+		}
+		if end := e.EndSlot(l.slots); end > until {
+			until = end
+		}
+	}
+	return until
+}
+
+// RxConflict reports whether an arrival at node id spanning the given
+// interval would overlap a window in which id is predicted to be
+// receiving. Interfering with a neighbor's reception is the one thing
+// extra communication must never do (paper §4.2).
+func (l *Ledger) RxConflict(id packet.NodeID, iv Interval) bool {
+	for _, e := range l.exchanges {
+		for _, w := range e.rxWindows(l.slots, id) {
+			if iv.Overlaps(w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TxConflict reports whether node id is predicted to be transmitting at
+// some point in the interval (an arrival then would be lost to
+// half-duplex at id — harmless to others, fatal for a frame addressed
+// to id).
+func (l *Ledger) TxConflict(id packet.NodeID, iv Interval) bool {
+	for _, e := range l.exchanges {
+		for _, w := range e.txWindows(l.slots, id) {
+			if iv.Overlaps(w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BusyParties returns the IDs currently involved in tracked exchanges,
+// sorted for determinism.
+func (l *Ledger) BusyParties() []packet.NodeID {
+	seen := make(map[packet.NodeID]struct{}, 2*len(l.exchanges))
+	for _, e := range l.exchanges {
+		seen[e.Sender] = struct{}{}
+		seen[e.Receiver] = struct{}{}
+	}
+	out := make([]packet.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,85 @@
+package mac
+
+import "ewmac/internal/packet"
+
+// Queue is the FIFO of outbound application packets. A packet stays at
+// the head while its handshake is in flight and is popped only on Ack,
+// so a failed round naturally retries the same packet.
+type Queue struct {
+	items []AppPacket
+	// MaxLen bounds the queue; zero means unbounded. Overflow drops
+	// the newest packet (tail drop), counted in Dropped.
+	MaxLen  int
+	Dropped uint64
+	peak    int
+}
+
+// Push appends p, returning false if the queue was full.
+func (q *Queue) Push(p AppPacket) bool {
+	if q.MaxLen > 0 && len(q.items) >= q.MaxLen {
+		q.Dropped++
+		return false
+	}
+	q.items = append(q.items, p)
+	if len(q.items) > q.peak {
+		q.peak = len(q.items)
+	}
+	return true
+}
+
+// PushFront reinserts p at the head (retransmission path).
+func (q *Queue) PushFront(p AppPacket) {
+	q.items = append([]AppPacket{p}, q.items...)
+	if len(q.items) > q.peak {
+		q.peak = len(q.items)
+	}
+}
+
+// Peek returns the head without removing it.
+func (q *Queue) Peek() (AppPacket, bool) {
+	if len(q.items) == 0 {
+		return AppPacket{}, false
+	}
+	return q.items[0], true
+}
+
+// FirstFor returns the index of the first queued packet destined to
+// dst, or -1. ROPA's appending path and CS-MAC's stealing path pull a
+// packet for a specific neighbor out of FIFO order.
+func (q *Queue) FirstFor(dst packet.NodeID) int {
+	for i, p := range q.items {
+		if p.Dst == dst {
+			return i
+		}
+	}
+	return -1
+}
+
+// Pop removes and returns the head.
+func (q *Queue) Pop() (AppPacket, bool) {
+	if len(q.items) == 0 {
+		return AppPacket{}, false
+	}
+	p := q.items[0]
+	q.items = q.items[1:]
+	return p, true
+}
+
+// RemoveAt removes and returns the packet at index i.
+func (q *Queue) RemoveAt(i int) (AppPacket, bool) {
+	if i < 0 || i >= len(q.items) {
+		return AppPacket{}, false
+	}
+	p := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return p, true
+}
+
+// Len reports queued packets.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Peak reports the high-water mark.
+func (q *Queue) Peak() int { return q.peak }
+
+// Items exposes the backing slice for read-only scans (do not mutate).
+func (q *Queue) Items() []AppPacket { return q.items }

@@ -1,0 +1,379 @@
+// Package ropa implements the Reverse Opportunistic Packet Appending
+// protocol (Ng, Soh & Motani, Computer Networks 2013) as characterized
+// in the paper's evaluation (§5): a neighbor that overhears a sender's
+// RTS and has data *for that sender* may transmit an appended request
+// (RTA) during the sender's RTS→CTS waiting window; if the sender's own
+// negotiation succeeds, it grants the appended transmission for the
+// period after its primary exchange completes.
+//
+// ROPA exploits only the sender's waiting resources — never the
+// receiver's — which is why its gains sit between S-FAMA's and
+// EW-MAC's. It also maintains and periodically transmits two-hop
+// neighbor information, the overhead/energy cost the paper charges it
+// with (Figures 9 and 10).
+package ropa
+
+import (
+	"time"
+
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// Options tune ROPA; the zero value matches the evaluation setup.
+type Options struct {
+	// Guard is the scheduling safety margin (default 2 ms).
+	Guard time.Duration
+	// UpdatePeriod is the interval between NbrUpdate broadcasts
+	// (default 90 s).
+	UpdatePeriod time.Duration
+	// MaintenanceEntries caps neighbor entries per NbrUpdate broadcast
+	// (default 4; entries rotate across broadcasts).
+	MaintenanceEntries int
+	// PiggybackEntries is how many neighbor entries ride on each
+	// control frame (default 1).
+	PiggybackEntries int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Guard <= 0 {
+		o.Guard = 2 * time.Millisecond
+	}
+	if o.UpdatePeriod <= 0 {
+		o.UpdatePeriod = 90 * time.Second
+	}
+	if o.MaintenanceEntries <= 0 {
+		o.MaintenanceEntries = 4
+	}
+	if o.PiggybackEntries <= 0 {
+		o.PiggybackEntries = 1
+	}
+}
+
+// rtaState is the appender-side record of one RTA attempt.
+type rtaState struct {
+	target  packet.NodeID
+	pkt     mac.AppPacket
+	granted bool
+	timeout *sim.Handle
+}
+
+// appendReq is the primary sender's record of a pending RTA.
+type appendReq struct {
+	from packet.NodeID
+	bits int
+}
+
+// MAC is the ROPA protocol.
+type MAC struct {
+	*mac.Base
+	opts       Options
+	pending    *rtaState
+	request    *appendReq
+	lastUpdate sim.Time
+	rotCursor  int
+}
+
+var _ mac.Protocol = (*MAC)(nil)
+
+// New builds a ROPA node.
+func New(cfg mac.Config, opts Options) (*MAC, error) {
+	opts.applyDefaults()
+	cfg.LenientGrant = false
+	// Control frames carry PiggybackEntries neighbor entries.
+	cfg.Slots.Pad = packet.Duration(opts.PiggybackEntries*packet.NeighborInfoBits, cfg.BitRate)
+	base, err := mac.NewBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &MAC{Base: base, opts: opts}
+	base.SetHooks(m)
+	// Stagger the periodic maintenance phase per node so updates do not
+	// synchronize into collision storms.
+	m.lastUpdate = sim.At(-time.Duration(base.RNG().Int63n(int64(opts.UpdatePeriod))))
+	return m, nil
+}
+
+// Name implements mac.Protocol.
+func (m *MAC) Name() string { return "ROPA" }
+
+// PickWinner implements mac.Hooks (first RTS wins, as in MACA-U).
+func (m *MAC) PickWinner(cands []*packet.Frame) *packet.Frame {
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[0]
+}
+
+// Piggyback implements mac.Hooks: ROPA control frames carry a slice of
+// the sender's neighbor table so two-hop state propagates.
+func (m *MAC) Piggyback(f *packet.Frame) {
+	if f.Kind == packet.KindNbrUpdate {
+		return // already carries the full table
+	}
+	snap := m.Table().Snapshot(m.Engine().Now(), m.opts.PiggybackEntries)
+	f.Neighbors = append(f.Neighbors, snap...)
+}
+
+// OnSlotStart implements mac.Hooks: periodic two-hop maintenance and
+// cleanup of append requests whose primary negotiation died.
+func (m *MAC) OnSlotStart(int64) {
+	if m.request != nil && m.Role() != mac.RoleWaitCTS && m.Role() != mac.RoleSendData &&
+		m.Role() != mac.RoleWaitAck {
+		m.request = nil
+	}
+	m.maybeBroadcastUpdate()
+}
+
+func (m *MAC) maybeBroadcastUpdate() {
+	now := m.Engine().Now()
+	if now.Sub(m.lastUpdate) < m.opts.UpdatePeriod {
+		return
+	}
+	if m.Role() != mac.RoleIdle || m.Held() || m.Modem().Transmitting() {
+		return
+	}
+	if m.Ledger().QuietUntilSlot() > m.Slots().SlotAt(now) {
+		return
+	}
+	upd := m.NewFrame(packet.KindNbrUpdate, packet.Broadcast)
+	upd.Neighbors = m.rotatingSnapshot(now, m.opts.MaintenanceEntries)
+	if err := m.SendNow(upd); err != nil {
+		return
+	}
+	m.lastUpdate = now
+	m.CountersRef().MaintenanceBits += uint64(upd.Bits())
+}
+
+// rotatingSnapshot returns up to max entries from the table, starting
+// at a cursor that advances each broadcast so the whole two-hop state
+// circulates over successive updates without monster frames.
+func (m *MAC) rotatingSnapshot(now sim.Time, max int) []packet.NeighborInfo {
+	full := m.Table().Snapshot(now, -1)
+	if len(full) == 0 {
+		return nil
+	}
+	if len(full) <= max {
+		return full
+	}
+	out := make([]packet.NeighborInfo, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, full[(m.rotCursor+i)%len(full)])
+	}
+	m.rotCursor = (m.rotCursor + max) % len(full)
+	return out
+}
+
+// OnContentionLost implements mac.Hooks: plain backoff — ROPA has no
+// loser path; opportunism belongs to the sender's neighbors.
+func (m *MAC) OnContentionLost(*packet.Frame) {}
+
+// OnNegotiated implements mac.Hooks: the primary sender's CTS arrived;
+// grant a pending appended request if the EXC reply fits in the idle
+// window before the data slot.
+func (m *MAC) OnNegotiated(*packet.Frame) {
+	req := m.request
+	if req == nil {
+		return
+	}
+	m.request = nil
+	now := m.Engine().Now()
+	exc := m.NewFrame(packet.KindEXC, req.from)
+	exc.DataBits = req.bits
+	m.Piggyback(exc)
+	if busyAt, busy := m.NextBusyAt(); busy {
+		if now.Add(m.FrameTx(exc) + m.opts.Guard).After(busyAt) {
+			return
+		}
+	}
+	grantAt := m.PrimaryFreeAt().Add(2 * m.opts.Guard)
+	exc.GrantAt = grantAt.Duration()
+	if err := m.SendNow(exc); err != nil {
+		return
+	}
+	// Stay off the channel until the appended exchange finishes.
+	release := grantAt.Add(m.DataTx(req.bits) + m.ControlTx() + 8*m.opts.Guard)
+	m.SetHold(release)
+	m.Engine().MustScheduleAt(release, sim.PriorityMAC, func() {
+		if !m.Held() {
+			return
+		}
+		m.SetHold(m.Engine().Now())
+	})
+}
+
+// OnOverheard implements mac.Hooks: an overheard RTS from a neighbor we
+// have data for opens the appending window.
+func (m *MAC) OnOverheard(f *packet.Frame) {
+	if f.Kind != packet.KindRTS || m.pending != nil || m.Held() {
+		return
+	}
+	if m.Role() != mac.RoleIdle {
+		return
+	}
+	idx := m.Queue().FirstFor(f.Src)
+	if idx < 0 {
+		return
+	}
+	now := m.Engine().Now()
+	tau, known := m.Table().Delay(f.Src, now)
+	if !known {
+		return
+	}
+	slots := m.Slots()
+	rtsSlot := slots.SlotAt(sim.At(f.Timestamp))
+	winStart := slots.StartOf(rtsSlot).Add(m.FrameTx(f) + m.opts.Guard)
+	// The RTA must be fully received at the sender before its CTS
+	// begins arriving.
+	winEnd := slots.StartOf(rtsSlot + 1).Add(f.PairDelay - m.opts.Guard)
+
+	pkt := m.Queue().Items()[idx]
+	rta := m.NewFrame(packet.KindRTA, f.Src)
+	rta.DataBits = pkt.Bits
+	m.Piggyback(rta)
+	rtaDur := m.FrameTx(rta)
+
+	sendT := now.Add(m.opts.Guard)
+	if earliest := winStart.Add(-tau); sendT.Before(earliest) {
+		sendT = earliest
+	}
+	if sendT.Add(tau + rtaDur).After(winEnd) {
+		return
+	}
+	// ROPA knows two-hop state: avoid arriving inside any known
+	// receive window.
+	for _, n := range m.Ledger().BusyParties() {
+		if n == f.Src || n == m.ID() {
+			continue
+		}
+		tn, ok := m.Table().Delay(n, now)
+		if !ok {
+			return
+		}
+		iv := mac.Interval{Start: sendT.Add(tn - m.opts.Guard), End: sendT.Add(tn + rtaDur + m.opts.Guard)}
+		if m.Ledger().RxConflict(n, iv) {
+			return
+		}
+	}
+
+	st := &rtaState{target: f.Src, pkt: pkt}
+	m.pending = st
+	// The grant (EXC) can only come after the sender receives its CTS:
+	// allow until the end of the data slot.
+	deadline := slots.StartOf(rtsSlot + 2).Add(slots.Len())
+	m.SetHold(deadline)
+	m.SendAt(sendT, rta, func(error) { m.abort(st) })
+	m.CountersRef().ExtraAttempts++
+	st.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+		if m.pending == st && !st.granted {
+			m.abort(st)
+		}
+	})
+}
+
+func (m *MAC) abort(st *rtaState) {
+	if m.pending != st {
+		return
+	}
+	if st.timeout != nil {
+		st.timeout.Cancel()
+	}
+	m.pending = nil
+	m.SetHold(m.Engine().Now())
+}
+
+// OnExtraFrame implements mac.Hooks.
+func (m *MAC) OnExtraFrame(f *packet.Frame) {
+	switch f.Kind {
+	case packet.KindRTA:
+		// Primary sender: remember the first appended request made
+		// while we wait for our CTS.
+		if m.Role() == mac.RoleWaitCTS && m.request == nil {
+			m.request = &appendReq{from: f.Src, bits: f.DataBits}
+		}
+	case packet.KindEXC:
+		m.onGrant(f)
+	case packet.KindEXData:
+		m.DeliverData(f, true)
+		ack := m.NewFrame(packet.KindEXAck, f.Src)
+		ack.Seq = f.Seq
+		ack.Origin = f.Origin
+		_ = m.SendNow(ack)
+	case packet.KindEXAck:
+		st := m.pending
+		if st == nil || f.Src != st.target || f.Seq != st.pkt.Seq {
+			return
+		}
+		m.CountersRef().ExtraCompletions++
+		m.CompleteBySeq(st.pkt.Origin, st.pkt.Seq)
+		m.abort(st)
+	default:
+	}
+}
+
+func (m *MAC) onGrant(f *packet.Frame) {
+	st := m.pending
+	if st == nil || f.Src != st.target || st.granted {
+		return
+	}
+	m.CountersRef().ExtraGrants++
+	now := m.Engine().Now()
+	tau, known := m.Table().Delay(st.target, now)
+	sendT := sim.At(f.GrantAt).Add(-tau)
+	if !known || sendT.Before(now.Add(m.opts.Guard)) {
+		m.abort(st)
+		return
+	}
+	// The packet may have been delivered by the primary path meanwhile.
+	if m.Queue().FirstFor(st.target) < 0 {
+		m.abort(st)
+		return
+	}
+	st.granted = true
+	if st.timeout != nil {
+		st.timeout.Cancel()
+	}
+	data := m.NewFrame(packet.KindEXData, st.target)
+	data.DataBits = st.pkt.Bits
+	data.Seq = st.pkt.Seq
+	data.Origin = st.pkt.Origin
+	data.GeneratedAt = st.pkt.GeneratedAt
+	dur := m.DataTx(st.pkt.Bits)
+	deadline := sendT.Add(dur + 2*tau + m.ControlTx() + 8*m.opts.Guard)
+	m.SetHold(deadline)
+	// Re-validate against exchanges negotiated between the grant and
+	// the send instant (ROPA maintains two-hop state, so it can).
+	m.Engine().MustScheduleAt(sendT, sim.PriorityMAC, func() {
+		if m.pending != st {
+			return
+		}
+		nowSend := m.Engine().Now()
+		for _, n := range m.Ledger().BusyParties() {
+			if n == st.target || n == m.ID() {
+				continue
+			}
+			tn, ok := m.Table().Delay(n, nowSend)
+			if !ok {
+				m.abort(st)
+				return
+			}
+			iv := mac.Interval{Start: nowSend.Add(tn - m.opts.Guard), End: nowSend.Add(tn + dur + m.opts.Guard)}
+			if m.Ledger().RxConflict(n, iv) {
+				m.abort(st)
+				return
+			}
+		}
+		if err := m.SendNow(data); err != nil {
+			m.abort(st)
+		}
+	})
+	st.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+		if m.pending == st {
+			m.abort(st)
+		}
+	})
+}
+
+// PendingRTA reports whether an appended request is in flight (tests).
+func (m *MAC) PendingRTA() bool { return m.pending != nil }

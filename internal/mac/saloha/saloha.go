@@ -1,0 +1,206 @@
+// Package saloha implements slotted ALOHA with acknowledgements — an
+// extension baseline beyond the paper's evaluation set. It skips the
+// RTS/CTS negotiation entirely: a backlogged node transmits its data
+// packet at a slot boundary and waits one round trip for the Ack,
+// backing off binary-exponentially on silence.
+//
+// It exists for two reasons. First, as the classic lower anchor for
+// handshake protocols: without reservations, every overlapping data
+// packet is lost whole, so ALOHA collapses far earlier than S-FAMA as
+// load grows. Second, as a demonstration that the framework's pieces
+// (slot math, queues, modem, counters) compose into protocols that do
+// not share the four-way-handshake engine at all.
+package saloha
+
+import (
+	"fmt"
+
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+	"ewmac/internal/phy"
+	"ewmac/internal/sim"
+)
+
+// MAC is the slotted-ALOHA protocol. Unlike the paper's four
+// protocols it is not built on mac.Base: it runs its own minimal slot
+// loop.
+type MAC struct {
+	cfg   mac.Config
+	rng   *sim.RNG
+	queue mac.Queue
+
+	waitingAck  bool
+	ackDeadline int64
+	sentSeq     uint32
+	backoffLeft int
+	cw          int
+	seq         uint32
+	seen        map[uint64]struct{}
+	counters    mac.Counters
+	started     bool
+	nextSlot    int64
+}
+
+var _ mac.Protocol = (*MAC)(nil)
+
+// New builds a slotted-ALOHA node.
+func New(cfg mac.Config) (*MAC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CWMin <= 0 {
+		cfg.CWMin = 2
+	}
+	if cfg.CWMax < cfg.CWMin {
+		cfg.CWMax = 128
+	}
+	return &MAC{
+		cfg:   cfg,
+		rng:   cfg.Engine.RNG(fmt.Sprintf("saloha/%d", cfg.ID)),
+		queue: mac.Queue{MaxLen: cfg.QueueMax},
+		cw:    cfg.CWMin,
+		seen:  make(map[uint64]struct{}),
+	}, nil
+}
+
+// Name implements mac.Protocol.
+func (m *MAC) Name() string { return "S-ALOHA" }
+
+// Counters implements mac.Protocol.
+func (m *MAC) Counters() mac.Counters { return m.counters }
+
+// QueueLen implements mac.Protocol.
+func (m *MAC) QueueLen() int { return m.queue.Len() }
+
+// Enqueue implements mac.Protocol.
+func (m *MAC) Enqueue(p mac.AppPacket) {
+	if p.Origin == packet.Nobody {
+		p.Origin = m.cfg.ID
+	}
+	if p.Seq == 0 {
+		m.seq++
+		p.Seq = m.seq
+	}
+	if m.queue.Push(p) {
+		m.counters.Generated++
+	}
+}
+
+// Start implements mac.Protocol.
+func (m *MAC) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	now := m.cfg.Engine.Now()
+	m.nextSlot = m.cfg.Slots.SlotAt(now)
+	if m.cfg.Slots.StartOf(m.nextSlot) != now {
+		m.nextSlot++
+	}
+	m.scheduleSlot()
+}
+
+func (m *MAC) scheduleSlot() {
+	slot := m.nextSlot
+	m.nextSlot++
+	m.cfg.Engine.MustScheduleAt(m.cfg.Slots.StartOf(slot), sim.PriorityMAC, func() {
+		m.onSlot(slot)
+		m.scheduleSlot()
+	})
+}
+
+func (m *MAC) onSlot(s int64) {
+	if m.waitingAck {
+		if s >= m.ackDeadline {
+			m.waitingAck = false
+			m.counters.Retransmissions++
+			if head, ok := m.queue.Peek(); ok {
+				m.counters.RetransmittedBits += uint64(head.Bits)
+			}
+			m.backoffLeft = 1 + m.rng.Intn(m.cw)
+			if m.cw < m.cfg.CWMax {
+				m.cw *= 2
+			}
+		}
+		return
+	}
+	if m.cfg.IsSink {
+		return
+	}
+	head, ok := m.queue.Peek()
+	if !ok {
+		return
+	}
+	if m.cfg.Modem.Transmitting() || m.cfg.Modem.Receiving() {
+		return
+	}
+	if m.backoffLeft > 0 {
+		m.backoffLeft--
+		return
+	}
+	f := &packet.Frame{
+		Kind:        packet.KindData,
+		Src:         m.cfg.ID,
+		Dst:         head.Dst,
+		Seq:         head.Seq,
+		Origin:      head.Origin,
+		GeneratedAt: head.GeneratedAt,
+		DataBits:    head.Bits,
+		Timestamp:   m.cfg.Engine.Now().Duration(),
+	}
+	if err := m.cfg.Modem.Transmit(f); err != nil {
+		return
+	}
+	m.waitingAck = true
+	m.sentSeq = head.Seq
+	// The data may span several slots (Equation (5)); the Ack comes one
+	// slot after it fully arrives, worst case τmax away.
+	dataTx := packet.Duration(packet.DataHeaderBits+head.Bits, m.cfg.BitRate)
+	m.ackDeadline = m.cfg.Slots.AckSlot(s, dataTx, m.cfg.Slots.TauMax) + 2
+}
+
+// OnFrameReceived implements phy.Listener.
+func (m *MAC) OnFrameReceived(f *packet.Frame) {
+	switch f.Kind {
+	case packet.KindData:
+		if f.Dst != m.cfg.ID {
+			return
+		}
+		key := uint64(f.Origin)<<32 | uint64(f.Seq)
+		if _, dup := m.seen[key]; dup {
+			m.counters.DuplicatesRx++
+		} else {
+			m.seen[key] = struct{}{}
+			m.counters.DeliveredPackets++
+			m.counters.DeliveredBits += uint64(f.DataBits)
+			m.counters.LatencySum += m.cfg.Engine.Now().Duration() - f.GeneratedAt
+		}
+		ack := &packet.Frame{
+			Kind: packet.KindAck, Src: m.cfg.ID, Dst: f.Src, Seq: f.Seq,
+			Timestamp: m.cfg.Engine.Now().Duration(),
+		}
+		// The Ack goes out at the next slot boundary to keep the
+		// channel slot-aligned.
+		at := m.cfg.Slots.StartOf(m.cfg.Slots.SlotAt(m.cfg.Engine.Now()) + 1)
+		m.cfg.Engine.MustScheduleAt(at, sim.PriorityMAC, func() {
+			ack.Timestamp = m.cfg.Engine.Now().Duration()
+			_ = m.cfg.Modem.Transmit(ack)
+		})
+	case packet.KindAck:
+		if f.Dst != m.cfg.ID || !m.waitingAck || f.Seq != m.sentSeq {
+			return
+		}
+		m.waitingAck = false
+		m.queue.Pop()
+		m.counters.AckedPackets++
+		m.cw = m.cfg.CWMin
+	default:
+		// ALOHA ignores every negotiation frame.
+	}
+}
+
+// OnFrameLost implements phy.Listener.
+func (m *MAC) OnFrameLost(*packet.Frame, phy.LossReason) {}
+
+// OnTxDone implements phy.Listener.
+func (m *MAC) OnTxDone(*packet.Frame) {}

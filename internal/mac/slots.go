@@ -1,0 +1,74 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"ewmac/internal/sim"
+)
+
+// SlotConfig fixes the slotted-channel geometry shared by all nodes.
+// Per the paper (§3.1): |ts| = ω + τmax, where τmax is the propagation
+// delay across the maximum communication range and ω the transmission
+// time of one control packet. Every primary handshake frame is sent at
+// a slot boundary; extra-communication frames are not.
+type SlotConfig struct {
+	// Omega is the baseline control-packet transmission time ω (the
+	// 64-bit frame of Table 2). The slot length derives from this, so
+	// all protocols share the same slot geometry.
+	Omega time.Duration
+	// TauMax is the worst-case one-hop propagation delay τmax.
+	TauMax time.Duration
+	// Pad is the extra on-air time of this protocol's control frames
+	// beyond Omega (piggybacked neighbor state). It does not change the
+	// slot length — spilling past ω is part of the protocol's overhead
+	// — but every schedule prediction must account for it, or nodes
+	// would plan extra transmissions into the tail of their peers'
+	// control receptions.
+	Pad time.Duration
+}
+
+// Validate reports a non-physical configuration.
+func (s SlotConfig) Validate() error {
+	if s.Omega <= 0 || s.TauMax <= 0 {
+		return fmt.Errorf("mac: slot config %+v must have positive ω and τmax", s)
+	}
+	return nil
+}
+
+// Len returns the slot duration |ts| = ω + τmax.
+func (s SlotConfig) Len() time.Duration { return s.Omega + s.TauMax }
+
+// CtrlDur returns the worst-case on-air time of this protocol's
+// control frames (ω plus piggyback padding).
+func (s SlotConfig) CtrlDur() time.Duration { return s.Omega + s.Pad }
+
+// SlotAt returns the index of the slot containing instant t.
+func (s SlotConfig) SlotAt(t sim.Time) int64 {
+	return int64(t.Duration() / s.Len())
+}
+
+// StartOf returns the instant slot begins.
+func (s SlotConfig) StartOf(slot int64) sim.Time {
+	return sim.At(time.Duration(slot) * s.Len())
+}
+
+// DataSlots implements Equation (5)'s slot count: the number of slots a
+// data transmission plus its propagation occupies,
+// ⌈(TD + τ) / |ts|⌉, with a minimum of one slot.
+func (s SlotConfig) DataSlots(dataTx, tau time.Duration) int64 {
+	total := dataTx + tau
+	n := int64((total + s.Len() - 1) / s.Len())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AckSlot implements Equation (5): the slot in which the receiver sends
+// its Ack, given the slot the data transmission started in, the data
+// transmission time, and the pairwise propagation delay:
+// ts(Ack) = ts(Data) + ⌈(TD + τ) / |ts|⌉.
+func (s SlotConfig) AckSlot(dataSlot int64, dataTx, tau time.Duration) int64 {
+	return dataSlot + s.DataSlots(dataTx, tau)
+}

@@ -1,0 +1,114 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ewmac/internal/sim"
+)
+
+func paperSlots() SlotConfig {
+	// Table 2: ω = 64 bits / 12 kbps ≈ 5.333 ms, τmax = 1.5 km / 1.5 km/s = 1 s.
+	omegaBits := 64.0
+	return SlotConfig{
+		Omega:  time.Duration(omegaBits / 12000 * float64(time.Second)),
+		TauMax: time.Second,
+	}
+}
+
+func TestSlotLen(t *testing.T) {
+	s := paperSlots()
+	want := s.Omega + time.Second
+	if s.Len() != want {
+		t.Errorf("Len = %v, want %v", s.Len(), want)
+	}
+}
+
+func TestSlotValidate(t *testing.T) {
+	if err := paperSlots().Validate(); err != nil {
+		t.Errorf("paper slots invalid: %v", err)
+	}
+	if err := (SlotConfig{Omega: time.Millisecond}).Validate(); err == nil {
+		t.Error("zero τmax accepted")
+	}
+	if err := (SlotConfig{TauMax: time.Second}).Validate(); err == nil {
+		t.Error("zero ω accepted")
+	}
+}
+
+func TestSlotAtAndStartOfInverse(t *testing.T) {
+	s := paperSlots()
+	for slot := int64(0); slot < 100; slot += 7 {
+		if got := s.SlotAt(s.StartOf(slot)); got != slot {
+			t.Fatalf("SlotAt(StartOf(%d)) = %d", slot, got)
+		}
+		// Just before the next boundary still maps to this slot.
+		justBefore := s.StartOf(slot + 1).Add(-time.Nanosecond)
+		if got := s.SlotAt(justBefore); got != slot {
+			t.Fatalf("SlotAt(end-ε of %d) = %d", slot, got)
+		}
+	}
+}
+
+func TestDataSlotsEquation5(t *testing.T) {
+	s := paperSlots()
+	// 2048-bit data + 64-bit header at 12 kbps = 176 ms; with τ = 333 ms
+	// it fits one slot.
+	dataTx := time.Duration((2048 + 64) * float64(time.Second) / 12000)
+	if got := s.DataSlots(dataTx, 333*time.Millisecond); got != 1 {
+		t.Errorf("DataSlots(176ms, 333ms) = %d, want 1", got)
+	}
+	// A data transmission spanning more than a slot needs 2.
+	if got := s.DataSlots(900*time.Millisecond, 500*time.Millisecond); got != 2 {
+		t.Errorf("DataSlots(900ms, 500ms) = %d, want 2", got)
+	}
+	// Degenerate inputs still reserve one slot.
+	if got := s.DataSlots(0, 0); got != 1 {
+		t.Errorf("DataSlots(0,0) = %d, want 1", got)
+	}
+	// Exactly one slot's worth occupies exactly one slot.
+	if got := s.DataSlots(s.Len()-time.Second, time.Second); got != 1 {
+		t.Errorf("DataSlots(exactly |ts|) = %d, want 1", got)
+	}
+}
+
+func TestAckSlot(t *testing.T) {
+	s := paperSlots()
+	dataTx := 176 * time.Millisecond
+	if got := s.AckSlot(7, dataTx, 333*time.Millisecond); got != 8 {
+		t.Errorf("AckSlot = %d, want 8", got)
+	}
+	if got := s.AckSlot(7, 3*time.Second, time.Second); got != 7+4 {
+		t.Errorf("AckSlot long data = %d, want 11", got)
+	}
+}
+
+// Property: Eq (5) slot count always covers the transmission: the Ack
+// slot start is never before data arrival completes.
+func TestAckSlotCoversDataProperty(t *testing.T) {
+	s := paperSlots()
+	f := func(txMS, tauMS uint16, dataSlot uint8) bool {
+		dataTx := time.Duration(txMS%5000) * time.Millisecond
+		tau := time.Duration(tauMS%1000) * time.Millisecond
+		ds := int64(dataSlot)
+		ack := s.AckSlot(ds, dataTx, tau)
+		dataArrivalEnd := s.StartOf(ds).Add(tau + dataTx)
+		return !s.StartOf(ack).Before(dataArrivalEnd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStartOfMonotone(t *testing.T) {
+	s := paperSlots()
+	var prev sim.Time
+	for slot := int64(0); slot < 1000; slot++ {
+		st := s.StartOf(slot)
+		if slot > 0 && st <= prev {
+			t.Fatalf("StartOf not strictly increasing at %d", slot)
+		}
+		prev = st
+	}
+}

@@ -1,0 +1,103 @@
+package mac
+
+import (
+	"sort"
+	"time"
+
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// NeighborTable maintains measured one-hop propagation delays, per the
+// paper's §4.3: every frame carries its sender's transmission
+// timestamp, and a receiver derives the pairwise delay as
+// (arrival end − timestamp − transmission time). Entries age out so
+// stale estimates for drifted neighbors are not trusted forever.
+type NeighborTable struct {
+	entries map[packet.NodeID]tableEntry
+	// TTL is how long an estimate stays trusted; zero disables aging.
+	TTL time.Duration
+}
+
+type tableEntry struct {
+	delay time.Duration
+	heard sim.Time
+}
+
+// NewNeighborTable returns an empty table with the given TTL.
+func NewNeighborTable(ttl time.Duration) *NeighborTable {
+	return &NeighborTable{entries: make(map[packet.NodeID]tableEntry), TTL: ttl}
+}
+
+// Observe updates the sender's delay estimate from a received frame.
+// arrivalEnd is the instant reception completed; txDur the frame's
+// on-air duration at the shared bit rate.
+func (t *NeighborTable) Observe(f *packet.Frame, arrivalEnd sim.Time, txDur time.Duration) {
+	delay := arrivalEnd.Duration() - f.Timestamp - txDur
+	if delay < 0 {
+		// Clock skew or a bogus timestamp: distrust, but keep the
+		// neighbor known with a zero-floor delay.
+		delay = 0
+	}
+	t.entries[f.Src] = tableEntry{delay: delay, heard: arrivalEnd}
+}
+
+// ObservePair folds in piggybacked third-party delay info (e.g. a CTS
+// announcing τ between the negotiating pair) — the receiver learns of
+// the pair's delay without having measured it. These entries inform
+// scheduling around overheard exchanges, not transmissions to that
+// node, so they are stored only if no direct measurement exists.
+func (t *NeighborTable) ObservePair(id packet.NodeID, delay time.Duration, now sim.Time) {
+	if id == packet.Nobody || id == packet.Broadcast {
+		return
+	}
+	if _, ok := t.entries[id]; ok {
+		return
+	}
+	t.entries[id] = tableEntry{delay: delay, heard: now}
+}
+
+// Delay returns the current estimate for a neighbor and whether a live
+// estimate exists.
+func (t *NeighborTable) Delay(id packet.NodeID, now sim.Time) (time.Duration, bool) {
+	e, ok := t.entries[id]
+	if !ok {
+		return 0, false
+	}
+	if t.TTL > 0 && now.Sub(e.heard) > t.TTL {
+		return 0, false
+	}
+	return e.delay, true
+}
+
+// Known returns the IDs with live estimates, sorted for determinism.
+func (t *NeighborTable) Known(now sim.Time) []packet.NodeID {
+	out := make([]packet.NodeID, 0, len(t.entries))
+	for id := range t.entries {
+		if _, ok := t.Delay(id, now); ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len reports the number of entries (live or stale).
+func (t *NeighborTable) Len() int { return len(t.entries) }
+
+// Snapshot returns up to max live entries as piggybackable
+// NeighborInfo, sorted by ID. CS-MAC and ROPA use this to distribute
+// two-hop state; EW-MAC only ever piggybacks the single pair under
+// negotiation.
+func (t *NeighborTable) Snapshot(now sim.Time, max int) []packet.NeighborInfo {
+	ids := t.Known(now)
+	if max >= 0 && len(ids) > max {
+		ids = ids[:max]
+	}
+	out := make([]packet.NeighborInfo, 0, len(ids))
+	for _, id := range ids {
+		d, _ := t.Delay(id, now)
+		out = append(out, packet.NeighborInfo{ID: id, Delay: d})
+	}
+	return out
+}

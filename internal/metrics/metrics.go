@@ -1,0 +1,194 @@
+// Package metrics computes the paper's evaluation quantities from raw
+// simulation counters: throughput (Equations (2)–(3)), execution time
+// (mean generation→delivery latency), power consumption, protocol
+// overhead, and the efficiency index (Equation (4)).
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"ewmac/internal/energy"
+	"ewmac/internal/mac"
+	"ewmac/internal/phy"
+)
+
+// NodeSample is one node's raw counters at the end of a run.
+type NodeSample struct {
+	MAC    mac.Counters
+	PHY    phy.Stats
+	Energy energy.Breakdown
+	IsSink bool
+}
+
+// Summary is the per-run report.
+type Summary struct {
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Nodes is the population size (including sinks).
+	Nodes int
+
+	// ThroughputKbps is Σ delivered payload bits / T (Equation (3)).
+	ThroughputKbps float64
+	// OfferedKbps is Σ generated payload bits / T (for delivery-ratio
+	// checks; uses the configured payload size via GeneratedBits).
+	OfferedKbps float64
+	// DeliveryRatio is delivered packets / generated packets.
+	DeliveryRatio float64
+	// ExecutionTime is the mean generation→delivery latency (Figure 8).
+	ExecutionTime time.Duration
+	// MeanPowerMW is the average per-node power draw in milliwatts
+	// (Figure 9).
+	MeanPowerMW float64
+	// EnergyJ is the network's total energy.
+	EnergyJ float64
+	// OverheadBits is the protocol cost beyond useful payload:
+	// control traffic (including piggybacked neighbor state and
+	// dedicated maintenance frames) plus retransmitted payload
+	// (Figure 10's accounting: transmission cost + neighbor
+	// maintenance cost + retransmission cost).
+	OverheadBits uint64
+	// Efficiency is throughput per milliwatt (Equation (4), before
+	// normalization to the S-FAMA baseline).
+	Efficiency float64
+	// Fairness is Jain's index over per-sender acknowledged packets
+	// (1 = perfectly fair). The paper's rp priority exists "to balance
+	// fairness" (§3.1); this quantifies it.
+	Fairness float64
+
+	// Aggregated raw counters for deeper inspection.
+	MAC mac.Counters
+	PHY phy.Stats
+}
+
+// Summarize folds node samples over a measurement window. dataBits is
+// the configured payload size (used to express offered load in kbps).
+func Summarize(samples []NodeSample, window time.Duration, dataBits int) (Summary, error) {
+	if window <= 0 {
+		return Summary{}, fmt.Errorf("metrics: window %v", window)
+	}
+	if len(samples) == 0 {
+		return Summary{}, fmt.Errorf("metrics: no samples")
+	}
+	var (
+		macSum mac.Counters
+		phySum phy.Stats
+		joules float64
+	)
+	for _, s := range samples {
+		macSum = macSum.Add(s.MAC)
+		phySum = addPhy(phySum, s.PHY)
+		joules += s.Energy.Total()
+	}
+	sec := window.Seconds()
+	sum := Summary{
+		Duration:     window,
+		Nodes:        len(samples),
+		MAC:          macSum,
+		PHY:          phySum,
+		EnergyJ:      joules,
+		OverheadBits: macSum.RetransmittedBits + phySum.ControlBitsTx,
+	}
+	sum.ThroughputKbps = float64(macSum.DeliveredBits) / sec / 1000
+	sum.OfferedKbps = float64(macSum.Generated) * float64(dataBits) / sec / 1000
+	if macSum.Generated > 0 {
+		sum.DeliveryRatio = float64(macSum.DeliveredPackets) / float64(macSum.Generated)
+	}
+	sum.ExecutionTime = macSum.MeanLatency()
+	sum.MeanPowerMW = joules / sec / float64(len(samples)) * 1000
+	if sum.MeanPowerMW > 0 {
+		sum.Efficiency = sum.ThroughputKbps / sum.MeanPowerMW
+	}
+	sum.Fairness = JainIndex(samples)
+	return sum, nil
+}
+
+// JainIndex computes Jain's fairness index over the acknowledged
+// packet counts of the nodes that generated traffic:
+// (Σx)² / (n·Σx²) ∈ (0, 1], 1 meaning every sender got equal service.
+// Returns 0 when nothing was generated.
+func JainIndex(samples []NodeSample) float64 {
+	var sumX, sumX2 float64
+	n := 0
+	for _, s := range samples {
+		if s.IsSink || s.MAC.Generated == 0 {
+			continue
+		}
+		x := float64(s.MAC.AckedPackets)
+		sumX += x
+		sumX2 += x * x
+		n++
+	}
+	if n == 0 || sumX2 == 0 {
+		return 0
+	}
+	return sumX * sumX / (float64(n) * sumX2)
+}
+
+func addPhy(a, b phy.Stats) phy.Stats {
+	return phy.Stats{
+		FramesTx:        a.FramesTx + b.FramesTx,
+		BitsTx:          a.BitsTx + b.BitsTx,
+		FramesRx:        a.FramesRx + b.FramesRx,
+		BitsRx:          a.BitsRx + b.BitsRx,
+		Collisions:      a.Collisions + b.Collisions,
+		TxSelfLoss:      a.TxSelfLoss + b.TxSelfLoss,
+		PERLosses:       a.PERLosses + b.PERLosses,
+		ControlBitsTx:   a.ControlBitsTx + b.ControlBitsTx,
+		DataBitsTx:      a.DataBitsTx + b.DataBitsTx,
+		PiggybackBitsTx: a.PiggybackBitsTx + b.PiggybackBitsTx,
+		ExtraFramesTx:   a.ExtraFramesTx + b.ExtraFramesTx,
+	}
+}
+
+// OverheadRatio compares a protocol's overhead against a baseline run
+// of the same scenario (S-FAMA = 1 in Figure 10). A zero baseline
+// yields 0.
+func OverheadRatio(s, baseline Summary) float64 {
+	if baseline.OverheadBits == 0 {
+		return 0
+	}
+	return float64(s.OverheadBits) / float64(baseline.OverheadBits)
+}
+
+// EfficiencyIndex normalizes Equation (4) to the baseline protocol
+// (S-FAMA = 1 in Figure 11).
+func EfficiencyIndex(s, baseline Summary) float64 {
+	if baseline.Efficiency == 0 {
+		return 0
+	}
+	return s.Efficiency / baseline.Efficiency
+}
+
+// Mean averages a set of same-scenario run summaries (multiple seeds).
+func Mean(runs []Summary) (Summary, error) {
+	if len(runs) == 0 {
+		return Summary{}, fmt.Errorf("metrics: no runs")
+	}
+	out := runs[0]
+	n := float64(len(runs))
+	var thr, off, dr, pow, eff, en, fair float64
+	var lat time.Duration
+	var ovh float64
+	for _, r := range runs {
+		thr += r.ThroughputKbps
+		off += r.OfferedKbps
+		dr += r.DeliveryRatio
+		pow += r.MeanPowerMW
+		eff += r.Efficiency
+		en += r.EnergyJ
+		fair += r.Fairness
+		lat += r.ExecutionTime
+		ovh += float64(r.OverheadBits)
+	}
+	out.ThroughputKbps = thr / n
+	out.OfferedKbps = off / n
+	out.DeliveryRatio = dr / n
+	out.MeanPowerMW = pow / n
+	out.Efficiency = eff / n
+	out.Fairness = fair / n
+	out.EnergyJ = en / n
+	out.ExecutionTime = lat / time.Duration(len(runs))
+	out.OverheadBits = uint64(ovh / n)
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ewmac/internal/energy"
+	"ewmac/internal/mac"
+	"ewmac/internal/phy"
+)
+
+func sample(delivered, generated uint64, bits int, joules float64) NodeSample {
+	return NodeSample{
+		MAC: mac.Counters{
+			Generated:        generated,
+			DeliveredPackets: delivered,
+			DeliveredBits:    delivered * uint64(bits),
+			LatencySum:       time.Duration(delivered) * 2 * time.Second,
+		},
+		PHY:    phy.Stats{ControlBitsTx: 1000},
+		Energy: energy.Breakdown{TxJ: joules},
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	samples := []NodeSample{
+		sample(10, 12, 2048, 3),
+		sample(5, 8, 2048, 1),
+	}
+	sum, err := Summarize(samples, 100*time.Second, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantThr := float64(15*2048) / 100 / 1000
+	if math.Abs(sum.ThroughputKbps-wantThr) > 1e-12 {
+		t.Errorf("throughput = %v, want %v", sum.ThroughputKbps, wantThr)
+	}
+	wantOff := float64(20*2048) / 100 / 1000
+	if math.Abs(sum.OfferedKbps-wantOff) > 1e-12 {
+		t.Errorf("offered = %v, want %v", sum.OfferedKbps, wantOff)
+	}
+	if math.Abs(sum.DeliveryRatio-0.75) > 1e-12 {
+		t.Errorf("delivery ratio = %v, want 0.75", sum.DeliveryRatio)
+	}
+	if sum.ExecutionTime != 2*time.Second {
+		t.Errorf("execution time = %v, want 2s", sum.ExecutionTime)
+	}
+	// 4 J over 100 s across 2 nodes = 20 mW.
+	if math.Abs(sum.MeanPowerMW-20) > 1e-9 {
+		t.Errorf("power = %v mW, want 20", sum.MeanPowerMW)
+	}
+	if sum.OverheadBits != 2000 {
+		t.Errorf("overhead = %v, want 2000 (control only)", sum.OverheadBits)
+	}
+	if sum.Efficiency <= 0 {
+		t.Error("efficiency not computed")
+	}
+}
+
+func TestSummarizeIncludesRetransmissionsInOverhead(t *testing.T) {
+	s := sample(1, 1, 1024, 1)
+	s.MAC.RetransmittedBits = 5000
+	sum, err := Summarize([]NodeSample{s}, time.Minute, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OverheadBits != 6000 {
+		t.Errorf("overhead = %d, want control 1000 + retransmitted 5000", sum.OverheadBits)
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	if _, err := Summarize(nil, time.Minute, 2048); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := Summarize([]NodeSample{{}}, 0, 2048); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestOverheadRatioAndEfficiencyIndex(t *testing.T) {
+	base := Summary{OverheadBits: 1000, Efficiency: 0.5}
+	s := Summary{OverheadBits: 2500, Efficiency: 1.25}
+	if got := OverheadRatio(s, base); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("OverheadRatio = %v", got)
+	}
+	if got := EfficiencyIndex(s, base); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("EfficiencyIndex = %v", got)
+	}
+	if OverheadRatio(s, Summary{}) != 0 || EfficiencyIndex(s, Summary{}) != 0 {
+		t.Error("zero baselines should yield 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	runs := []Summary{
+		{ThroughputKbps: 0.2, MeanPowerMW: 100, ExecutionTime: 2 * time.Second, OverheadBits: 100},
+		{ThroughputKbps: 0.4, MeanPowerMW: 200, ExecutionTime: 4 * time.Second, OverheadBits: 300},
+	}
+	m, err := Mean(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ThroughputKbps-0.3) > 1e-12 {
+		t.Errorf("mean throughput = %v", m.ThroughputKbps)
+	}
+	if math.Abs(m.MeanPowerMW-150) > 1e-12 {
+		t.Errorf("mean power = %v", m.MeanPowerMW)
+	}
+	if m.ExecutionTime != 3*time.Second {
+		t.Errorf("mean latency = %v", m.ExecutionTime)
+	}
+	if m.OverheadBits != 200 {
+		t.Errorf("mean overhead = %v", m.OverheadBits)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("Mean of no runs accepted")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	mk := func(acked, gen uint64, sink bool) NodeSample {
+		return NodeSample{MAC: mac.Counters{AckedPackets: acked, Generated: gen}, IsSink: sink}
+	}
+	// Perfectly fair.
+	fair := []NodeSample{mk(5, 6, false), mk(5, 6, false), mk(5, 6, false)}
+	if got := JainIndex(fair); math.Abs(got-1) > 1e-12 {
+		t.Errorf("fair index = %v, want 1", got)
+	}
+	// One node starved: (10+10+0)²/(3·(100+100)) = 400/600.
+	starved := []NodeSample{mk(10, 12, false), mk(10, 12, false), mk(0, 12, false)}
+	if got := JainIndex(starved); math.Abs(got-400.0/600.0) > 1e-12 {
+		t.Errorf("starved index = %v, want 2/3", got)
+	}
+	// Sinks and silent nodes are excluded.
+	mixed := []NodeSample{mk(5, 6, false), mk(999, 0, false), mk(7, 1, true)}
+	if got := JainIndex(mixed); math.Abs(got-1) > 1e-12 {
+		t.Errorf("mixed index = %v, want 1 (only one real sender)", got)
+	}
+	if JainIndex(nil) != 0 {
+		t.Error("empty index should be 0")
+	}
+}

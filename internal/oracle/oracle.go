@@ -1,0 +1,220 @@
+// Package oracle independently verifies the paper's Equation (1) over
+// a finished run: a packet counts as received only if, for its whole
+// reception window, the receiver was not transmitting and no other
+// neighbor's signal arrived. The oracle reconstructs every arrival
+// interval at every receiver purely from channel-level emission
+// records — it shares no code with the PHY's reception logic — and
+// then cross-examines the claimed receptions and losses. It backs two
+// test suites: PHY-correctness invariants and the EW-MAC safety
+// property that admitted extra transmissions never corrupt negotiated
+// exchanges.
+package oracle
+
+import (
+	"fmt"
+	"time"
+
+	"ewmac/internal/packet"
+	"ewmac/internal/phy"
+	"ewmac/internal/sim"
+)
+
+// frameKey identifies one logical transmission.
+type frameKey struct {
+	src  packet.NodeID
+	kind packet.Kind
+	seq  uint32
+	ts   time.Duration
+}
+
+func keyOf(f *packet.Frame) frameKey {
+	return frameKey{src: f.Src, kind: f.Kind, seq: f.Seq, ts: f.Timestamp}
+}
+
+type span struct {
+	start, end sim.Time
+}
+
+func (s span) overlaps(o span) bool { return s.start < o.end && o.start < s.end }
+
+// arrival is one signal reaching one receiver.
+type arrival struct {
+	key     frameKey
+	at      packet.NodeID
+	span    span
+	levelDB float64
+	kind    packet.Kind
+}
+
+type reception struct {
+	node packet.NodeID
+	key  frameKey
+	at   sim.Time
+}
+
+type loss struct {
+	node   packet.NodeID
+	key    frameKey
+	kind   packet.Kind
+	dst    packet.NodeID
+	reason phy.LossReason
+	at     sim.Time
+}
+
+// Violation is one inconsistency found by Verify.
+type Violation struct {
+	Node   packet.NodeID
+	Key    fmt.Stringer
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("node %v: %s", v.Node, v.Reason)
+}
+
+type keyString frameKey
+
+func (k keyString) String() string {
+	return fmt.Sprintf("%v %v seq=%d @%v", frameKey(k).src, frameKey(k).kind, frameKey(k).seq, frameKey(k).ts)
+}
+
+// Oracle accumulates a run's channel-level ground truth.
+type Oracle struct {
+	// BitRate converts frame sizes to duration.
+	BitRate float64
+	// CaptureDB is the SINR margin above which a stronger frame
+	// survives a weaker overlapping one. Match the model's threshold.
+	CaptureDB float64
+
+	arrivals   []arrival
+	txSpans    map[packet.NodeID][]span
+	txSeen     map[frameKey]bool
+	receptions []reception
+	losses     []loss
+}
+
+// New returns an oracle for the given PHY parameters.
+func New(bitRate, captureDB float64) *Oracle {
+	return &Oracle{
+		BitRate:   bitRate,
+		CaptureDB: captureDB,
+		txSpans:   make(map[packet.NodeID][]span),
+		txSeen:    make(map[frameKey]bool),
+	}
+}
+
+// RecordEmission logs one scheduled delivery (call from the channel
+// trace at emission time).
+func (o *Oracle) RecordEmission(now sim.Time, src, dst packet.NodeID, f *packet.Frame, delay time.Duration, levelDB float64) {
+	dur := f.TxDuration(o.BitRate)
+	k := keyOf(f)
+	o.arrivals = append(o.arrivals, arrival{
+		key:     k,
+		at:      dst,
+		span:    span{now.Add(delay), now.Add(delay + dur)},
+		levelDB: levelDB,
+		kind:    f.Kind,
+	})
+	if !o.txSeen[k] {
+		o.txSeen[k] = true
+		o.txSpans[src] = append(o.txSpans[src], span{now, now.Add(dur)})
+	}
+}
+
+// RecordReception logs a claimed successful decode (call from the
+// modem's rx tap; now is the decode instant = arrival end).
+func (o *Oracle) RecordReception(now sim.Time, node packet.NodeID, f *packet.Frame) {
+	o.receptions = append(o.receptions, reception{node: node, key: keyOf(f), at: now})
+}
+
+// RecordLoss logs a reported loss of a decodable frame.
+func (o *Oracle) RecordLoss(now sim.Time, node packet.NodeID, f *packet.Frame, reason phy.LossReason) {
+	o.losses = append(o.losses, loss{
+		node: node, key: keyOf(f), kind: f.Kind, dst: f.Dst, reason: reason, at: now,
+	})
+}
+
+// Receptions reports how many successful decodes were recorded.
+func (o *Oracle) Receptions() int { return len(o.receptions) }
+
+// Losses reports how many losses were recorded.
+func (o *Oracle) Losses() int { return len(o.losses) }
+
+func (o *Oracle) findArrival(node packet.NodeID, k frameKey) (arrival, bool) {
+	for _, a := range o.arrivals {
+		if a.at == node && a.key == k {
+			return a, true
+		}
+	}
+	return arrival{}, false
+}
+
+// Verify checks Equation (1) for every claimed reception: during the
+// frame's reception window the receiver transmitted nothing, and no
+// comparable-power foreign signal overlapped it.
+func (o *Oracle) Verify() []Violation {
+	var out []Violation
+	for _, r := range o.receptions {
+		a, ok := o.findArrival(r.node, r.key)
+		if !ok {
+			out = append(out, Violation{r.node, keyString(r.key),
+				fmt.Sprintf("reception of %v with no matching channel emission", keyString(r.key))})
+			continue
+		}
+		for _, tx := range o.txSpans[r.node] {
+			if tx.overlaps(a.span) {
+				out = append(out, Violation{r.node, keyString(r.key),
+					fmt.Sprintf("decoded %v while transmitting (half-duplex violation)", keyString(r.key))})
+			}
+		}
+		for _, other := range o.arrivals {
+			if other.at != r.node || other.key == a.key {
+				continue
+			}
+			if !other.span.overlaps(a.span) {
+				continue
+			}
+			if other.levelDB >= a.levelDB-o.CaptureDB {
+				out = append(out, Violation{r.node, keyString(r.key),
+					fmt.Sprintf("decoded %v despite overlapping %v within the capture margin (Equation (1) violation)",
+						keyString(r.key), keyString(other.key))})
+			}
+		}
+	}
+	return out
+}
+
+// VerifyExtraSafety checks the paper's §4.2 guarantee: no negotiated
+// frame (CTS, Data, or Ack) lost at its intended destination may have
+// been corrupted by an overlapping extra-communication frame. RTS
+// contention is explicitly exempt ("we do not assure that there is no
+// collision between RTS packets", §4).
+func (o *Oracle) VerifyExtraSafety() []Violation {
+	var out []Violation
+	for _, l := range o.losses {
+		if l.reason != phy.LossCollision || l.dst != l.node {
+			continue
+		}
+		switch l.kind {
+		case packet.KindCTS, packet.KindData, packet.KindAck:
+		default:
+			continue
+		}
+		victim, ok := o.findArrival(l.node, l.key)
+		if !ok {
+			continue
+		}
+		for _, other := range o.arrivals {
+			if other.at != l.node || other.key == victim.key {
+				continue
+			}
+			if !other.span.overlaps(victim.span) || !other.kind.IsExtra() {
+				continue
+			}
+			out = append(out, Violation{l.node, keyString(l.key),
+				fmt.Sprintf("negotiated %v corrupted by extra frame %v (guard breach)",
+					keyString(l.key), keyString(other.key))})
+		}
+	}
+	return out
+}

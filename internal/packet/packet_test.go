@@ -1,0 +1,236 @@
+package packet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validFrame() *Frame {
+	return &Frame{
+		Kind:      KindRTS,
+		Src:       3,
+		Dst:       7,
+		Seq:       42,
+		Timestamp: 1500 * time.Millisecond,
+		PairDelay: 333 * time.Millisecond,
+		RP:        0.71,
+		DataBits:  2048,
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		kind    Kind
+		control bool
+		extra   bool
+	}{
+		{KindHello, true, false},
+		{KindRTS, true, false},
+		{KindCTS, true, false},
+		{KindData, false, false},
+		{KindAck, true, false},
+		{KindEXR, true, true},
+		{KindEXC, true, true},
+		{KindEXData, false, true},
+		{KindEXAck, true, true},
+		{KindRTA, true, true},
+		{KindStolenData, false, true},
+		{KindNbrUpdate, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			if !tc.kind.Valid() {
+				t.Fatalf("%v not valid", tc.kind)
+			}
+			if tc.kind.IsControl() != tc.control {
+				t.Errorf("IsControl = %v, want %v", tc.kind.IsControl(), tc.control)
+			}
+			if tc.kind.IsData() == tc.control {
+				t.Errorf("IsData inconsistent with IsControl")
+			}
+			if tc.kind.IsExtra() != tc.extra {
+				t.Errorf("IsExtra = %v, want %v", tc.kind.IsExtra(), tc.extra)
+			}
+		})
+	}
+	if Kind(0).Valid() || kindEnd.Valid() {
+		t.Error("out-of-range kinds reported valid")
+	}
+}
+
+func TestBits(t *testing.T) {
+	f := validFrame()
+	if f.Bits() != ControlBits {
+		t.Errorf("control frame bits = %d, want %d", f.Bits(), ControlBits)
+	}
+	f.Neighbors = []NeighborInfo{{ID: 1, Delay: time.Second}, {ID: 2, Delay: time.Second}}
+	if f.Bits() != ControlBits+2*NeighborInfoBits {
+		t.Errorf("piggybacked control bits = %d", f.Bits())
+	}
+	d := &Frame{Kind: KindData, Src: 1, Dst: 2, DataBits: 2048}
+	if d.Bits() != DataHeaderBits+2048 {
+		t.Errorf("data frame bits = %d, want %d", d.Bits(), DataHeaderBits+2048)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	// 64 bits at 12 kbps = 5.333 ms.
+	got := Duration(64, 12000)
+	bits := 64.0
+	want := time.Duration(bits / 12000 * float64(time.Second))
+	if got != want {
+		t.Errorf("Duration = %v, want %v", got, want)
+	}
+	if Duration(64, 0) != 0 || Duration(0, 12000) != 0 {
+		t.Error("degenerate durations should be 0")
+	}
+	f := &Frame{Kind: KindData, Src: 1, Dst: 2, DataBits: 2048}
+	if f.TxDuration(12000) != Duration(DataHeaderBits+2048, 12000) {
+		t.Error("TxDuration disagrees with Duration(Bits())")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validFrame().Validate(); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		edit func(*Frame)
+	}{
+		{"bad kind", func(f *Frame) { f.Kind = 0 }},
+		{"no src", func(f *Frame) { f.Src = Nobody }},
+		{"broadcast src", func(f *Frame) { f.Src = Broadcast }},
+		{"no dst", func(f *Frame) { f.Dst = Nobody }},
+		{"empty data", func(f *Frame) { f.Kind = KindData; f.DataBits = 0 }},
+		{"negative payload", func(f *Frame) { f.DataBits = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFrame()
+			tc.edit(f)
+			if err := f.Validate(); err == nil {
+				t.Error("Validate accepted bad frame")
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := validFrame()
+	f.Neighbors = []NeighborInfo{{ID: 9, Delay: time.Second}}
+	c := f.Clone()
+	c.Neighbors[0].ID = 10
+	c.Seq = 99
+	if f.Neighbors[0].ID != 9 || f.Seq != 42 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	f := validFrame()
+	f.Origin = 11
+	f.GeneratedAt = 12345 * time.Microsecond
+	f.Neighbors = []NeighborInfo{{ID: 5, Delay: 800 * time.Millisecond}, {ID: 6, Delay: time.Second}}
+	raw, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var g Frame
+	if err := g.UnmarshalBinary(raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if g.Kind != f.Kind || g.Src != f.Src || g.Dst != f.Dst || g.Seq != f.Seq ||
+		g.Timestamp != f.Timestamp || g.PairDelay != f.PairDelay ||
+		g.RP != f.RP || g.DataBits != f.DataBits || g.Origin != f.Origin ||
+		g.GeneratedAt != f.GeneratedAt || len(g.Neighbors) != 2 ||
+		g.Neighbors[1] != f.Neighbors[1] {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", g, *f)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	var f Frame
+	if err := f.UnmarshalBinary(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := f.UnmarshalBinary([]byte{0, 0, 0}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	good, err := validFrame().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncated input accepted")
+	}
+	if err := f.UnmarshalBinary(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	f := validFrame()
+	f.Src = Nobody
+	if _, err := f.MarshalBinary(); err == nil {
+		t.Error("marshal accepted invalid frame")
+	}
+}
+
+// Property: any structurally valid frame survives a wire round trip
+// bit-exactly (durations quantized to microseconds, as on the wire).
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(kindRaw uint8, src, dst uint16, seq uint32, tsUS, pdUS uint32, rp float64, bits uint16, nNbr uint8) bool {
+		kind := Kind(kindRaw%uint8(kindEnd-1)) + 1
+		fr := &Frame{
+			Kind:      kind,
+			Src:       NodeID(src%1000 + 1),
+			Dst:       NodeID(dst%1000 + 1),
+			Seq:       seq,
+			Timestamp: time.Duration(tsUS) * time.Microsecond,
+			PairDelay: time.Duration(pdUS) * time.Microsecond,
+			RP:        rp,
+			DataBits:  int(bits) + 1,
+		}
+		if math.IsNaN(rp) {
+			fr.RP = 0.5
+		}
+		for i := 0; i < int(nNbr%5); i++ {
+			fr.Neighbors = append(fr.Neighbors, NeighborInfo{
+				ID:    NodeID(i + 1),
+				Delay: time.Duration(i) * 100 * time.Millisecond,
+			})
+		}
+		raw, err := fr.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var g Frame
+		if err := g.UnmarshalBinary(raw); err != nil {
+			return false
+		}
+		if g.Kind != fr.Kind || g.Src != fr.Src || g.Dst != fr.Dst ||
+			g.Seq != fr.Seq || g.Timestamp != fr.Timestamp ||
+			g.PairDelay != fr.PairDelay || g.RP != fr.RP ||
+			g.DataBits != fr.DataBits || len(g.Neighbors) != len(fr.Neighbors) {
+			return false
+		}
+		for i := range g.Neighbors {
+			if g.Neighbors[i] != fr.Neighbors[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if Nobody.String() != "n∅" || Broadcast.String() != "n*" || NodeID(7).String() != "n7" {
+		t.Error("NodeID.String formatting changed")
+	}
+}

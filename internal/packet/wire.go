@@ -1,0 +1,119 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Wire format. The simulator itself passes *Frame pointers around, but
+// the encoder exists so frames can be logged to trace files and so the
+// declared bit sizes stay honest: the test suite asserts that every
+// frame's semantic content actually fits in Bits().
+
+const wireMagic uint16 = 0xEA57
+
+// MarshalBinary encodes the frame in a fixed big-endian layout.
+func (f *Frame) MarshalBinary() ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("packet: marshal: %w", err)
+	}
+	if len(f.Neighbors) > math.MaxUint8 {
+		return nil, fmt.Errorf("packet: marshal: %d neighbor entries exceed wire limit", len(f.Neighbors))
+	}
+	var buf bytes.Buffer
+	w := func(v any) {
+		// bytes.Buffer writes cannot fail.
+		_ = binary.Write(&buf, binary.BigEndian, v)
+	}
+	w(wireMagic)
+	w(uint8(f.Kind))
+	w(uint16(f.Src))
+	w(uint16(f.Dst))
+	w(f.Seq)
+	w(f.Timestamp.Microseconds())
+	w(f.PairDelay.Microseconds())
+	w(math.Float64bits(f.RP))
+	w(int32(f.DataBits))
+	w(f.GrantAt.Microseconds())
+	w(uint16(f.Origin))
+	w(f.GeneratedAt.Microseconds())
+	w(uint8(len(f.Neighbors)))
+	for _, nb := range f.Neighbors {
+		w(uint16(nb.ID))
+		w(nb.Delay.Microseconds())
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a frame produced by MarshalBinary.
+func (f *Frame) UnmarshalBinary(data []byte) error {
+	buf := bytes.NewReader(data)
+	r := func(v any) error { return binary.Read(buf, binary.BigEndian, v) }
+
+	var magic uint16
+	if err := r(&magic); err != nil {
+		return fmt.Errorf("packet: unmarshal: %w", err)
+	}
+	if magic != wireMagic {
+		return fmt.Errorf("packet: unmarshal: bad magic %#04x", magic)
+	}
+	var (
+		kind                         uint8
+		src, dst, origin             uint16
+		seq                          uint32
+		tsUS, pairUS, genUS, grantUS int64
+		rpBits                       uint64
+		dataBits                     int32
+		nNbr                         uint8
+	)
+	for _, step := range []struct {
+		name string
+		dst  any
+	}{
+		{"kind", &kind}, {"src", &src}, {"dst", &dst}, {"seq", &seq},
+		{"timestamp", &tsUS}, {"pairDelay", &pairUS}, {"rp", &rpBits},
+		{"dataBits", &dataBits}, {"grantAt", &grantUS},
+		{"origin", &origin}, {"generatedAt", &genUS},
+		{"nbrCount", &nNbr},
+	} {
+		if err := r(step.dst); err != nil {
+			return fmt.Errorf("packet: unmarshal %s: %w", step.name, err)
+		}
+	}
+	nbrs := make([]NeighborInfo, 0, nNbr)
+	for i := 0; i < int(nNbr); i++ {
+		var id uint16
+		var delayUS int64
+		if err := r(&id); err != nil {
+			return fmt.Errorf("packet: unmarshal neighbor %d id: %w", i, err)
+		}
+		if err := r(&delayUS); err != nil {
+			return fmt.Errorf("packet: unmarshal neighbor %d delay: %w", i, err)
+		}
+		nbrs = append(nbrs, NeighborInfo{ID: NodeID(id), Delay: time.Duration(delayUS) * time.Microsecond})
+	}
+	if buf.Len() != 0 {
+		return fmt.Errorf("packet: unmarshal: %d trailing bytes", buf.Len())
+	}
+	*f = Frame{
+		Kind:        Kind(kind),
+		Src:         NodeID(src),
+		Dst:         NodeID(dst),
+		Seq:         seq,
+		Timestamp:   time.Duration(tsUS) * time.Microsecond,
+		PairDelay:   time.Duration(pairUS) * time.Microsecond,
+		RP:          math.Float64frombits(rpBits),
+		DataBits:    int(dataBits),
+		GrantAt:     time.Duration(grantUS) * time.Microsecond,
+		Origin:      NodeID(origin),
+		GeneratedAt: time.Duration(genUS) * time.Microsecond,
+		Neighbors:   nbrs,
+	}
+	if len(nbrs) == 0 {
+		f.Neighbors = nil
+	}
+	return f.Validate()
+}

@@ -1,0 +1,362 @@
+// Package phy implements the half-duplex acoustic modem: transmit
+// scheduling, arrival tracking, SINR-based collision resolution, and
+// per-state energy metering. It is deliberately protocol-agnostic — the
+// MAC layer sees successfully decoded frames (including everything it
+// overhears) plus a transmit-complete callback, which is exactly the
+// interface NS-3's UAN PHY presents to its MAC models.
+package phy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ewmac/internal/acoustic"
+	"ewmac/internal/energy"
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// ErrBusy is returned by Transmit while a transmission is in progress:
+// the transducer is half-duplex and single-channel.
+var ErrBusy = errors.New("phy: modem already transmitting")
+
+// LossReason classifies why a decodable frame was not delivered. Real
+// modems cannot always tell these apart; the reasons feed metrics, not
+// protocol logic.
+type LossReason uint8
+
+// Loss reasons.
+const (
+	// LossCollision means concurrent arrivals drove SINR below the
+	// receiver threshold.
+	LossCollision LossReason = iota + 1
+	// LossTxDuringRx means the modem was transmitting during part of
+	// the arrival (half-duplex self-blocking).
+	LossTxDuringRx
+	// LossChannel means the frame failed the PER draw without
+	// interference (marginal link).
+	LossChannel
+)
+
+// String implements fmt.Stringer.
+func (r LossReason) String() string {
+	switch r {
+	case LossCollision:
+		return "collision"
+	case LossTxDuringRx:
+		return "tx-during-rx"
+	case LossChannel:
+		return "channel"
+	default:
+		return fmt.Sprintf("LossReason(%d)", uint8(r))
+	}
+}
+
+// Listener receives modem events. The MAC layer implements this.
+type Listener interface {
+	// OnFrameReceived delivers every successfully decoded frame,
+	// whether or not this node is the destination (overhearing).
+	OnFrameReceived(f *packet.Frame)
+	// OnFrameLost reports a frame that would have been decodable but
+	// was lost; for metrics only.
+	OnFrameLost(f *packet.Frame, reason LossReason)
+	// OnTxDone fires when the modem finishes clocking out a frame.
+	OnTxDone(f *packet.Frame)
+}
+
+// Medium propagates a transmission to other modems. The channel package
+// implements it against the deployed topology.
+type Medium interface {
+	// Broadcast delivers f (with on-air duration dur) to every other
+	// modem, applying propagation delay and attenuation.
+	Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration)
+}
+
+// Stats counts modem activity for the metrics layer.
+type Stats struct {
+	FramesTx   uint64
+	BitsTx     uint64
+	FramesRx   uint64
+	BitsRx     uint64
+	Collisions uint64
+	TxSelfLoss uint64
+	PERLosses  uint64
+	// ControlBitsTx / DataBitsTx / PiggybackBitsTx split BitsTx for
+	// overhead accounting (Figure 10).
+	ControlBitsTx   uint64
+	DataBitsTx      uint64
+	PiggybackBitsTx uint64
+	// ExtraFramesTx counts opportunistic frames (EX*/RTA/stolen).
+	ExtraFramesTx uint64
+}
+
+type arrival struct {
+	frame     *packet.Frame
+	levelDB   float64
+	levelLin  float64
+	end       sim.Time
+	corruptTx bool
+	decodable bool
+	// maxOtherLin is the worst concurrent interference power observed
+	// while this arrival was in the air.
+	maxOtherLin float64
+}
+
+// Modem is one node's acoustic transducer.
+type Modem struct {
+	id       packet.NodeID
+	eng      *sim.Engine
+	model    *acoustic.Model
+	per      acoustic.PERModel
+	medium   Medium
+	listener Listener
+	meter    *energy.Meter
+	rng      *sim.RNG
+
+	transmitting bool
+	txFrame      *packet.Frame
+	arrivals     []*arrival
+	stats        Stats
+
+	// rxTap / lossTap are observability hooks for metrics and
+	// verification oracles; they see the same events as the listener
+	// but never influence protocol behaviour.
+	rxTap   func(f *packet.Frame)
+	lossTap func(f *packet.Frame, reason LossReason)
+}
+
+// Config assembles a modem.
+type Config struct {
+	ID       packet.NodeID
+	Engine   *sim.Engine
+	Model    *acoustic.Model
+	PER      acoustic.PERModel
+	Medium   Medium
+	Listener Listener
+	Energy   energy.Profile
+}
+
+// NewModem validates cfg and returns a modem in the idle-listening
+// state.
+func NewModem(cfg Config) (*Modem, error) {
+	switch {
+	case cfg.ID == packet.Nobody || cfg.ID == packet.Broadcast:
+		return nil, fmt.Errorf("phy: invalid modem ID %v", cfg.ID)
+	case cfg.Engine == nil:
+		return nil, errors.New("phy: nil engine")
+	case cfg.Model == nil:
+		return nil, errors.New("phy: nil acoustic model")
+	case cfg.Medium == nil:
+		return nil, errors.New("phy: nil medium")
+	}
+	if err := cfg.Energy.Validate(); err != nil {
+		return nil, err
+	}
+	per := cfg.PER
+	if per == nil {
+		per = acoustic.ThresholdPER{ThresholdDB: cfg.Model.SINRThresholdDB}
+	}
+	return &Modem{
+		id:       cfg.ID,
+		eng:      cfg.Engine,
+		model:    cfg.Model,
+		per:      per,
+		medium:   cfg.Medium,
+		listener: cfg.Listener,
+		meter:    energy.NewMeter(cfg.Energy, cfg.Engine.Now()),
+		rng:      cfg.Engine.RNG(fmt.Sprintf("phy/%d", cfg.ID)),
+	}, nil
+}
+
+// ID reports the modem's node ID.
+func (m *Modem) ID() packet.NodeID { return m.id }
+
+// SetListener installs the MAC callback sink. It must be called before
+// the simulation starts; a nil listener drops events.
+func (m *Modem) SetListener(l Listener) { m.listener = l }
+
+// SetRxTap installs an observer for successfully decoded frames (for
+// verification oracles; nil disables).
+func (m *Modem) SetRxTap(tap func(f *packet.Frame)) { m.rxTap = tap }
+
+// SetLossTap installs an observer for lost decodable frames (for
+// verification oracles; nil disables).
+func (m *Modem) SetLossTap(tap func(f *packet.Frame, reason LossReason)) { m.lossTap = tap }
+
+// Stats returns a copy of the activity counters.
+func (m *Modem) Stats() Stats { return m.stats }
+
+// Energy returns the cumulative energy breakdown as of now.
+func (m *Modem) Energy() (energy.Breakdown, error) {
+	return m.meter.Snapshot(m.eng.Now())
+}
+
+// Transmitting reports whether a transmission is in progress.
+func (m *Modem) Transmitting() bool { return m.transmitting }
+
+// Receiving reports whether any decodable signal is currently arriving.
+func (m *Modem) Receiving() bool {
+	for _, a := range m.arrivals {
+		if a.decodable {
+			return true
+		}
+	}
+	return false
+}
+
+// CarrierSensed reports whether any signal energy (decodable or not) is
+// on the channel at this modem.
+func (m *Modem) CarrierSensed() bool { return len(m.arrivals) > 0 || m.transmitting }
+
+// Transmit clocks out f. The frame's on-air time follows from its size
+// and the model's bit rate. Returns ErrBusy if a transmission is in
+// progress. Transmitting corrupts every arrival currently in the air at
+// this modem (half-duplex).
+func (m *Modem) Transmit(f *packet.Frame) error {
+	if m.transmitting {
+		return fmt.Errorf("%w: %v while sending %v", ErrBusy, f, m.txFrame)
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("phy: transmit: %w", err)
+	}
+	dur := f.TxDuration(m.model.BitRate())
+	m.transmitting = true
+	m.txFrame = f
+	for _, a := range m.arrivals {
+		a.corruptTx = true
+	}
+	m.accountTx(f)
+	m.updateEnergyState()
+	m.medium.Broadcast(m.id, f, dur)
+	m.eng.ScheduleIn(dur, sim.PriorityPHY, func() { m.finishTx(f) })
+	return nil
+}
+
+func (m *Modem) finishTx(f *packet.Frame) {
+	m.transmitting = false
+	m.txFrame = nil
+	m.updateEnergyState()
+	if m.listener != nil {
+		m.listener.OnTxDone(f)
+	}
+}
+
+func (m *Modem) accountTx(f *packet.Frame) {
+	bits := uint64(f.Bits())
+	m.stats.FramesTx++
+	m.stats.BitsTx += bits
+	pig := uint64(len(f.Neighbors) * packet.NeighborInfoBits)
+	m.stats.PiggybackBitsTx += pig
+	if f.Kind.IsControl() {
+		m.stats.ControlBitsTx += bits
+	} else {
+		m.stats.DataBitsTx += bits
+	}
+	if f.Kind.IsExtra() {
+		m.stats.ExtraFramesTx++
+	}
+}
+
+// BeginArrival is called by the medium when signal energy from frame f
+// starts arriving at this modem. levelDB is the received level; dur is
+// the on-air duration; syncable reports whether the source is within
+// nominal communication range (signals from farther away contribute
+// interference but are never decoded). The modem schedules its own
+// end-of-arrival processing.
+func (m *Modem) BeginArrival(f *packet.Frame, levelDB float64, dur time.Duration, syncable bool) {
+	now := m.eng.Now()
+	a := &arrival{
+		frame:     f,
+		levelDB:   levelDB,
+		levelLin:  acoustic.DBToLin(levelDB),
+		end:       now.Add(dur),
+		corruptTx: m.transmitting,
+		decodable: syncable && m.model.Decodable(m.model.SINRDBFromLin(levelDB, 0)),
+	}
+	m.arrivals = append(m.arrivals, a)
+	m.refreshInterference()
+	m.updateEnergyState()
+	m.eng.ScheduleIn(dur, sim.PriorityPHY, func() { m.endArrival(a) })
+}
+
+// refreshInterference recomputes, for every active arrival, the total
+// power of the other active arrivals, and folds it into each arrival's
+// running maximum. Interference peaks only when an arrival starts, so
+// calling this from BeginArrival captures every arrival's worst case.
+func (m *Modem) refreshInterference() {
+	var total float64
+	for _, a := range m.arrivals {
+		total += a.levelLin
+	}
+	for _, a := range m.arrivals {
+		other := total - a.levelLin
+		if other > a.maxOtherLin {
+			a.maxOtherLin = other
+		}
+	}
+}
+
+func (m *Modem) endArrival(a *arrival) {
+	for i, b := range m.arrivals {
+		if b == a {
+			m.arrivals = append(m.arrivals[:i], m.arrivals[i+1:]...)
+			break
+		}
+	}
+	m.updateEnergyState()
+
+	if !a.decodable {
+		// Pure interference energy: a real modem never synchronizes to
+		// it, so nothing is reported.
+		return
+	}
+	if a.corruptTx {
+		m.stats.TxSelfLoss++
+		m.notifyLost(a.frame, LossTxDuringRx)
+		return
+	}
+	sinr := m.model.SINRDBFromLin(a.levelDB, a.maxOtherLin)
+	perr := m.per.PER(sinr, a.frame.Bits())
+	if perr > 0 && (perr >= 1 || m.rng.Float64() < perr) {
+		if a.maxOtherLin > 0 {
+			m.stats.Collisions++
+			m.notifyLost(a.frame, LossCollision)
+		} else {
+			m.stats.PERLosses++
+			m.notifyLost(a.frame, LossChannel)
+		}
+		return
+	}
+	m.stats.FramesRx++
+	m.stats.BitsRx += uint64(a.frame.Bits())
+	if m.rxTap != nil {
+		m.rxTap(a.frame)
+	}
+	if m.listener != nil {
+		m.listener.OnFrameReceived(a.frame)
+	}
+}
+
+func (m *Modem) notifyLost(f *packet.Frame, r LossReason) {
+	if m.lossTap != nil {
+		m.lossTap(f, r)
+	}
+	if m.listener != nil {
+		m.listener.OnFrameLost(f, r)
+	}
+}
+
+func (m *Modem) updateEnergyState() {
+	state := energy.StateIdle
+	switch {
+	case m.transmitting:
+		state = energy.StateTx
+	case m.Receiving():
+		state = energy.StateRx
+	}
+	if err := m.meter.SetState(m.eng.Now(), state); err != nil {
+		// Time never goes backwards inside one engine; this is a bug.
+		panic(err)
+	}
+}

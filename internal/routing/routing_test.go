@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"testing"
+
+	"ewmac/internal/acoustic"
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+	"ewmac/internal/topology"
+	"ewmac/internal/vec"
+)
+
+func network(t *testing.T, nodes []*topology.Node) *topology.Network {
+	t.Helper()
+	region := vec.Box{Min: vec.V3{X: -1e4, Y: -1e4, Z: 0}, Max: vec.V3{X: 1e4, Y: 1e4, Z: 1e4}}
+	net, err := topology.NewNetwork(region, acoustic.DefaultModel(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNextHopPicksNearestShallower(t *testing.T) {
+	net := network(t, []*topology.Node{
+		{ID: 1, Pos: vec.V3{Z: 0}, Sink: true},
+		{ID: 2, Pos: vec.V3{X: 600, Z: 300}},
+		{ID: 3, Pos: vec.V3{X: 110, Z: 380}}, // nearest qualifying parent of 4
+		{ID: 4, Pos: vec.V3{X: 100, Z: 800}},
+	})
+	hop, ok := NextHop(net, 4)
+	if !ok || hop != 3 {
+		t.Errorf("NextHop(4) = %v, %v; want node 3", hop, ok)
+	}
+	hop, ok = NextHop(net, 3)
+	if !ok || hop != 1 {
+		t.Errorf("NextHop(3) = %v, %v; want the sink", hop, ok)
+	}
+}
+
+func TestNextHopIgnoresDeeperAndTinyGains(t *testing.T) {
+	net := network(t, []*topology.Node{
+		{ID: 1, Pos: vec.V3{Z: 0}, Sink: true},
+		{ID: 2, Pos: vec.V3{X: 10, Z: 500}},
+		{ID: 3, Pos: vec.V3{X: 20, Z: 500 - MinDepthGain/2}}, // not enough depth gain
+		{ID: 4, Pos: vec.V3{X: 15, Z: 900}},                  // deeper
+	})
+	hop, ok := NextHop(net, 2)
+	if !ok || hop != 1 {
+		t.Errorf("NextHop(2) = %v, %v; want sink (3 is not shallower enough, 4 is deeper)", hop, ok)
+	}
+}
+
+func TestNextHopFallsBackToSink(t *testing.T) {
+	// Node 2 is the shallowest sensor but a sink is in range.
+	net := network(t, []*topology.Node{
+		{ID: 1, Pos: vec.V3{X: 500, Z: 0}, Sink: true},
+		{ID: 2, Pos: vec.V3{Z: 0.5}},
+	})
+	hop, ok := NextHop(net, 2)
+	if !ok || hop != 1 {
+		t.Errorf("NextHop = %v, %v; want sink fallback", hop, ok)
+	}
+}
+
+func TestNextHopUnreachable(t *testing.T) {
+	net := network(t, []*topology.Node{
+		{ID: 1, Pos: vec.V3{Z: 0}, Sink: true},
+		{ID: 2, Pos: vec.V3{X: 9000, Z: 500}}, // out of range of everything
+	})
+	if _, ok := NextHop(net, 2); ok {
+		t.Error("isolated node found a next hop")
+	}
+	if _, ok := NextHop(net, 99); ok {
+		t.Error("unknown node found a next hop")
+	}
+}
+
+func TestHopCountReachesSink(t *testing.T) {
+	// A vertical chain, 700 m between nodes.
+	nodes := []*topology.Node{{ID: 1, Pos: vec.V3{Z: 0}, Sink: true}}
+	for i := 2; i <= 5; i++ {
+		nodes = append(nodes, &topology.Node{ID: packet.NodeID(i), Pos: vec.V3{Z: float64(i-1) * 700}})
+	}
+	net := network(t, nodes)
+	hops, ok := HopCount(net, 5, 10)
+	if !ok || hops != 4 {
+		t.Errorf("HopCount = %d, %v; want 4 hops to sink", hops, ok)
+	}
+	if _, ok := HopCount(net, 5, 2); ok {
+		t.Error("HopCount exceeded maxHops but reported success")
+	}
+}
+
+func TestDeployedNetworkFullyRouted(t *testing.T) {
+	net, err := topology.Deploy(topology.DeployConfig{
+		Nodes:  60,
+		Sinks:  4,
+		Region: vec.Cube(1000),
+	}, acoustic.DefaultModel(), sim.NewEngine(1).RNG("deploy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range net.Nodes() {
+		if n.Sink {
+			continue
+		}
+		if _, ok := NextHop(net, n.ID); !ok {
+			t.Errorf("node %v has no route", n.ID)
+		}
+		if hops, ok := HopCount(net, n.ID, 32); !ok {
+			t.Errorf("node %v cannot reach a sink (walked %d hops)", n.ID, hops)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Priority orders events that are scheduled for the same instant.
+// Lower values run first. The bands below keep physical-layer
+// bookkeeping strictly ahead of protocol reactions within an instant.
+type Priority int32
+
+const (
+	// PriorityPHY is for physical-layer events (arrival starts/ends).
+	PriorityPHY Priority = 1
+	// PriorityMAC is for protocol state-machine events (slot ticks, timers).
+	PriorityMAC Priority = 2
+	// PriorityApp is for application-level events (traffic generation).
+	PriorityApp Priority = 3
+	// PriorityObserver is for metric sampling; it always sees settled state.
+	PriorityObserver Priority = 4
+)
+
+// ErrScheduleInPast is returned when an event is scheduled before the
+// engine's current time.
+var ErrScheduleInPast = errors.New("sim: event scheduled in the past")
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. Cancelling an already-executed
+// or already-cancelled event is a no-op. Cancel reports whether the event
+// was still pending.
+func (h *Handle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.cancelled || h.ev.done {
+		return false
+	}
+	h.ev.cancelled = true
+	h.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the event is still waiting to run.
+func (h *Handle) Pending() bool {
+	return h != nil && h.ev != nil && !h.ev.cancelled && !h.ev.done
+}
+
+type event struct {
+	at        Time
+	prio      Priority
+	seq       uint64
+	fn        func()
+	cancelled bool
+	done      bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic(fmt.Sprintf("sim: eventHeap.Push got %T, want *event", x))
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	executed uint64
+	stopped  bool
+	seed     int64
+	streams  map[string]*RNG
+	horizon  Time // 0 means unbounded
+}
+
+// NewEngine returns an engine whose RNG streams all derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		seed:    seed,
+		streams: make(map[string]*RNG),
+	}
+}
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed reports the seed all RNG streams derive from.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are queued (including cancelled ones
+// that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// ScheduleAt queues fn to run at instant at with the given priority and
+// returns a cancellable handle. It returns ErrScheduleInPast if at is
+// earlier than Now.
+func (e *Engine) ScheduleAt(at Time, prio Priority, fn func()) (*Handle, error) {
+	if at < e.now {
+		return nil, fmt.Errorf("%w: at %v, now %v", ErrScheduleInPast, at, e.now)
+	}
+	ev := &event{at: at, prio: prio, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Handle{ev: ev}, nil
+}
+
+// ScheduleIn queues fn to run d after Now. Negative d is clamped to zero
+// so callers computing residual delays do not have to special-case
+// rounding. It panics only if the internal invariant is violated.
+func (e *Engine) ScheduleIn(d time.Duration, prio Priority, fn func()) *Handle {
+	if d < 0 {
+		d = 0
+	}
+	h, err := e.ScheduleAt(e.now.Add(d), prio, fn)
+	if err != nil {
+		// Unreachable: now+nonnegative >= now.
+		panic(err)
+	}
+	return h
+}
+
+// MustScheduleAt is ScheduleAt for callers that have already validated
+// the instant; it panics on ErrScheduleInPast.
+func (e *Engine) MustScheduleAt(at Time, prio Priority, fn func()) *Handle {
+	h, err := e.ScheduleAt(at, prio, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// SetHorizon makes Run ignore events scheduled after t. A zero horizon
+// means run until the queue drains.
+func (e *Engine) SetHorizon(t Time) { e.horizon = t }
+
+// Run executes events in order until the queue is empty, the horizon is
+// reached, or Stop is called. It returns the number of events executed
+// during this call.
+func (e *Engine) Run() uint64 {
+	e.stopped = false
+	var n uint64
+	for len(e.events) > 0 && !e.stopped {
+		ev, ok := heap.Pop(&e.events).(*event)
+		if !ok {
+			panic("sim: heap returned non-event")
+		}
+		if ev.cancelled {
+			continue
+		}
+		if e.horizon != 0 && ev.at > e.horizon {
+			// Past the horizon: put the event back and stop so a later
+			// Run/RunUntil call can resume from here.
+			heap.Push(&e.events, ev)
+			e.now = e.horizon
+			break
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		ev.done = true
+		fn := ev.fn
+		ev.fn = nil
+		e.executed++
+		n++
+		fn()
+	}
+	return n
+}
+
+// RunUntil executes events up to and including instant t, then stops with
+// Now advanced to exactly t (even if no event lands there).
+func (e *Engine) RunUntil(t Time) uint64 {
+	if t < e.now {
+		return 0
+	}
+	prev := e.horizon
+	e.horizon = t
+	n := e.Run()
+	e.horizon = prev
+	if e.now < t {
+		e.now = t
+	}
+	return n
+}

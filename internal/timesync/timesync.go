@@ -1,0 +1,119 @@
+// Package timesync implements the clock-synchronization substrate the
+// paper assumes exists ("we assume that the sensors in the water are
+// synchronized", §3.1, citing linear-regression schemes [20–22]).
+//
+// It provides a drifting-clock model and a beacon-based linear
+// estimator in the style of those references: a reference node
+// broadcasts timestamped beacons; each sensor pairs the beacon's
+// reference time (corrected for the known propagation delay) with its
+// own local reception time and fits offset and skew by least squares.
+// The residual error quantifies how well the slotted MAC's
+// synchronization assumption holds for a given drift magnitude.
+package timesync
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"ewmac/internal/sim"
+)
+
+// Clock is a drifting local clock: local(t) = Offset + t·(1 + Skew).
+type Clock struct {
+	// Offset is the initial phase error.
+	Offset time.Duration
+	// SkewPPM is the frequency error in parts per million (a cheap
+	// crystal is ±20–100 ppm).
+	SkewPPM float64
+}
+
+// Local converts true simulation time to this clock's reading.
+func (c Clock) Local(global sim.Time) time.Duration {
+	g := global.Duration()
+	return c.Offset + g + time.Duration(float64(g)*c.SkewPPM/1e6)
+}
+
+// ErrTooFewSamples is returned by Fit before two beacons are recorded.
+var ErrTooFewSamples = errors.New("timesync: need at least two samples")
+
+type pairSample struct {
+	local float64 // local reception time, seconds
+	ref   float64 // reference time at reception, seconds
+}
+
+// Estimator fits local-clock offset and skew against a reference from
+// beacon samples.
+type Estimator struct {
+	samples []pairSample
+	// MaxSamples bounds memory; old samples slide out (0 = unbounded).
+	MaxSamples int
+}
+
+// AddBeacon records one beacon: localArrival is the local clock at
+// reception; refSend the reference timestamp in the beacon; delay the
+// (measured) propagation delay, so the reference time at the reception
+// instant is refSend + delay.
+func (e *Estimator) AddBeacon(localArrival, refSend, delay time.Duration) {
+	e.samples = append(e.samples, pairSample{
+		local: localArrival.Seconds(),
+		ref:   (refSend + delay).Seconds(),
+	})
+	if e.MaxSamples > 0 && len(e.samples) > e.MaxSamples {
+		e.samples = e.samples[len(e.samples)-e.MaxSamples:]
+	}
+}
+
+// Len reports recorded samples.
+func (e *Estimator) Len() int { return len(e.samples) }
+
+// Fit returns the least-squares line ref ≈ a + b·local. b-1 is the
+// estimated skew; a the offset at local zero.
+func (e *Estimator) Fit() (offsetSec, rate float64, err error) {
+	n := float64(len(e.samples))
+	if n < 2 {
+		return 0, 0, ErrTooFewSamples
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range e.samples {
+		sx += s.local
+		sy += s.ref
+		sxx += s.local * s.local
+		sxy += s.local * s.ref
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("timesync: degenerate samples (identical local times)")
+	}
+	rate = (n*sxy - sx*sy) / den
+	offsetSec = (sy - rate*sx) / n
+	return offsetSec, rate, nil
+}
+
+// Correct maps a local clock reading to estimated reference time using
+// the current fit.
+func (e *Estimator) Correct(local time.Duration) (time.Duration, error) {
+	a, b, err := e.Fit()
+	if err != nil {
+		return 0, err
+	}
+	sec := a + b*local.Seconds()
+	return time.Duration(sec * float64(time.Second)), nil
+}
+
+// ResidualRMS reports the root-mean-square residual of the fit — the
+// synchronization error the MAC would see.
+func (e *Estimator) ResidualRMS() (time.Duration, error) {
+	a, b, err := e.Fit()
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, s := range e.samples {
+		r := s.ref - (a + b*s.local)
+		ss += r * r
+	}
+	rms := ss / float64(len(e.samples))
+	return time.Duration(math.Sqrt(rms) * float64(time.Second)), nil
+}

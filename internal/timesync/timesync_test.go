@@ -1,0 +1,154 @@
+package timesync
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ewmac/internal/sim"
+)
+
+func TestClockDrift(t *testing.T) {
+	c := Clock{Offset: 50 * time.Millisecond, SkewPPM: 20}
+	at := sim.At(1000 * time.Second)
+	got := c.Local(at)
+	// 20 ppm over 1000 s = 20 ms, plus the 50 ms offset.
+	want := 1000*time.Second + 50*time.Millisecond + 20*time.Millisecond
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("Local = %v, want %v", got, want)
+	}
+	perfect := Clock{}
+	if perfect.Local(at) != 1000*time.Second {
+		t.Error("zero clock is not the identity")
+	}
+}
+
+func TestEstimatorRecoversSyntheticClock(t *testing.T) {
+	truth := Clock{Offset: -120 * time.Millisecond, SkewPPM: 40}
+	var e Estimator
+	// Beacons every 10 s for 5 minutes, delay 400 ms.
+	delay := 400 * time.Millisecond
+	for ts := 10 * time.Second; ts <= 300*time.Second; ts += 10 * time.Second {
+		refSend := ts
+		arrivalGlobal := sim.At(ts + delay)
+		localArrival := truth.Local(arrivalGlobal)
+		e.AddBeacon(localArrival, refSend, delay)
+	}
+	offset, rate, err := e.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// local = offset + global(1+s) → global = (local - offset)/(1+s):
+	// fitted rate ≈ 1/(1+40e-6); fitted offset ≈ +120 ms·rate.
+	wantRate := 1 / (1 + 40e-6)
+	if math.Abs(rate-wantRate) > 1e-9 {
+		t.Errorf("rate = %.12f, want %.12f", rate, wantRate)
+	}
+	if math.Abs(offset-0.120*wantRate) > 1e-6 {
+		t.Errorf("offset = %v s, want ≈0.12", offset)
+	}
+	// Correction should map local readings back to reference time.
+	local := truth.Local(sim.At(123 * time.Second))
+	corrected, err := e.Correct(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := corrected - 123*time.Second; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("Correct error %v, want < 1µs", diff)
+	}
+	rms, err := e.ResidualRMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > time.Microsecond {
+		t.Errorf("residual %v on noiseless data", rms)
+	}
+}
+
+func TestEstimatorWithNoisyDelays(t *testing.T) {
+	truth := Clock{Offset: 30 * time.Millisecond, SkewPPM: -60}
+	rng := rand.New(rand.NewSource(1))
+	var e Estimator
+	for ts := 5 * time.Second; ts <= 600*time.Second; ts += 5 * time.Second {
+		delay := 400 * time.Millisecond
+		noise := time.Duration(rng.NormFloat64() * float64(2*time.Millisecond))
+		localArrival := truth.Local(sim.At(ts + delay + noise))
+		e.AddBeacon(localArrival, ts, delay) // estimator sees the nominal delay
+	}
+	local := truth.Local(sim.At(300 * time.Second))
+	corrected, err := e.Correct(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := (corrected - 300*time.Second).Abs(); diff > 2*time.Millisecond {
+		t.Errorf("correction error %v with 2 ms delay noise", diff)
+	}
+	rms, err := e.ResidualRMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms <= 0 || rms > 10*time.Millisecond {
+		t.Errorf("residual RMS %v implausible", rms)
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	var e Estimator
+	if _, _, err := e.Fit(); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("Fit on empty = %v, want ErrTooFewSamples", err)
+	}
+	e.AddBeacon(time.Second, time.Second, 0)
+	if _, _, err := e.Fit(); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("Fit on one sample = %v, want ErrTooFewSamples", err)
+	}
+	// Two identical local instants are degenerate.
+	e.AddBeacon(time.Second, 2*time.Second, 0)
+	if _, _, err := e.Fit(); err == nil {
+		t.Error("degenerate fit accepted")
+	}
+	if _, err := e.Correct(time.Second); err == nil {
+		t.Error("Correct on degenerate estimator accepted")
+	}
+}
+
+func TestEstimatorSlidingWindow(t *testing.T) {
+	e := Estimator{MaxSamples: 5}
+	for i := 0; i < 20; i++ {
+		e.AddBeacon(time.Duration(i)*time.Second, time.Duration(i)*time.Second, 0)
+	}
+	if e.Len() != 5 {
+		t.Errorf("Len = %d, want 5", e.Len())
+	}
+}
+
+// Property: for any physical clock (bounded offset and skew) and
+// beacon schedule, the estimator's correction error stays below a
+// microsecond on noiseless samples.
+func TestEstimatorRecoveryProperty(t *testing.T) {
+	f := func(offMS int16, skewRaw int8, seed int64) bool {
+		truth := Clock{
+			Offset:  time.Duration(offMS) * time.Millisecond,
+			SkewPPM: float64(skewRaw), // ±127 ppm
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var e Estimator
+		for i := 0; i < 20; i++ {
+			ts := time.Duration(10+rng.Intn(590)) * time.Second
+			delay := time.Duration(rng.Intn(900)+100) * time.Millisecond
+			e.AddBeacon(truth.Local(sim.At(ts+delay)), ts, delay)
+		}
+		probe := sim.At(time.Duration(rng.Intn(600)) * time.Second)
+		corrected, err := e.Correct(truth.Local(probe))
+		if err != nil {
+			// Degenerate draws (repeated instants) are acceptable.
+			return true
+		}
+		return (corrected - probe.Duration()).Abs() < time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package traffic generates the offered load of the paper's
+// evaluation: a network-wide Poisson process of fixed-size data
+// packets, expressed in kbps of generated payload (Figure 8 calibrates
+// the unit: "20 packets per 300 s ≈ 0.136 kbps" at 2048-bit packets).
+// Each non-sink node runs an independent Poisson stream of rate
+// λ/N so the aggregate is the configured network-wide load.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ewmac/internal/mac"
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// Sink accepts generated packets (implemented by mac.Protocol).
+type Sink interface {
+	Enqueue(p mac.AppPacket)
+}
+
+// Router resolves a generator node's next hop at packet-creation time.
+type Router func(from packet.NodeID) (packet.NodeID, bool)
+
+// Generator drives Poisson arrivals for one node.
+type Generator struct {
+	node    packet.NodeID
+	eng     *sim.Engine
+	rng     *sim.RNG
+	sink    Sink
+	route   Router
+	rate    float64 // packets per second
+	bits    int
+	seq     uint32
+	stopAt  sim.Time
+	startAt sim.Time
+
+	generated uint64
+	unrouted  uint64
+}
+
+// Config assembles a Generator.
+type Config struct {
+	Node   packet.NodeID
+	Engine *sim.Engine
+	Sink   Sink
+	Route  Router
+	// RatePPS is this node's Poisson rate in packets per second.
+	RatePPS float64
+	// Bits is the payload size of every generated packet.
+	Bits int
+	// Start and Stop bound the generation window.
+	Start, Stop sim.Time
+}
+
+// NewGenerator validates cfg and returns an unstarted generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	switch {
+	case cfg.Node == packet.Nobody:
+		return nil, errors.New("traffic: no node")
+	case cfg.Engine == nil:
+		return nil, errors.New("traffic: nil engine")
+	case cfg.Sink == nil:
+		return nil, errors.New("traffic: nil sink")
+	case cfg.Route == nil:
+		return nil, errors.New("traffic: nil router")
+	case cfg.Bits <= 0:
+		return nil, fmt.Errorf("traffic: %d payload bits", cfg.Bits)
+	case cfg.RatePPS < 0:
+		return nil, fmt.Errorf("traffic: negative rate %v", cfg.RatePPS)
+	case cfg.Stop <= cfg.Start:
+		return nil, fmt.Errorf("traffic: window [%v, %v] empty", cfg.Start, cfg.Stop)
+	}
+	return &Generator{
+		node:    cfg.Node,
+		eng:     cfg.Engine,
+		rng:     cfg.Engine.RNG(fmt.Sprintf("traffic/%d", cfg.Node)),
+		sink:    cfg.Sink,
+		route:   cfg.Route,
+		rate:    cfg.RatePPS,
+		bits:    cfg.Bits,
+		startAt: cfg.Start,
+		stopAt:  cfg.Stop,
+	}, nil
+}
+
+// Start arms the first arrival.
+func (g *Generator) Start() {
+	if g.rate <= 0 {
+		return
+	}
+	g.scheduleNext(g.startAt)
+}
+
+func (g *Generator) scheduleNext(from sim.Time) {
+	gap := time.Duration(g.rng.ExpFloat64Rate(g.rate) * float64(time.Second))
+	at := from.Add(gap)
+	if at.After(g.stopAt) {
+		return
+	}
+	g.eng.MustScheduleAt(at, sim.PriorityApp, func() {
+		g.fire()
+		g.scheduleNext(g.eng.Now())
+	})
+}
+
+func (g *Generator) fire() {
+	dst, ok := g.route(g.node)
+	if !ok {
+		g.unrouted++
+		return
+	}
+	g.seq++
+	g.generated++
+	g.sink.Enqueue(mac.AppPacket{
+		Dst:         dst,
+		Bits:        g.bits,
+		Origin:      g.node,
+		Seq:         g.seq,
+		GeneratedAt: g.eng.Now().Duration(),
+	})
+}
+
+// Generated reports packets handed to the MAC.
+func (g *Generator) Generated() uint64 { return g.generated }
+
+// Unrouted reports packets dropped for lack of a next hop.
+func (g *Generator) Unrouted() uint64 { return g.unrouted }
+
+// PerNodeRate converts a network-wide offered load in kbps into the
+// per-node Poisson rate in packets per second for n generating nodes
+// sending packets of the given payload size.
+func PerNodeRate(loadKbps float64, bits, n int) float64 {
+	if loadKbps <= 0 || bits <= 0 || n <= 0 {
+		return 0
+	}
+	return loadKbps * 1000 / float64(bits) / float64(n)
+}
+
+// FixedBatch enqueues count packets at the given instants — the
+// workload of Figure 8 ("time for successful transmission" of a fixed
+// number of packets).
+func FixedBatch(eng *sim.Engine, sink Sink, route Router, node packet.NodeID, bits, count int, at sim.Time) uint64 {
+	var made uint64
+	for i := 0; i < count; i++ {
+		i := i
+		eng.MustScheduleAt(at, sim.PriorityApp, func() {
+			dst, ok := route(node)
+			if !ok {
+				return
+			}
+			sink.Enqueue(mac.AppPacket{
+				Dst:         dst,
+				Bits:        bits,
+				Origin:      node,
+				Seq:         uint32(i + 1),
+				GeneratedAt: eng.Now().Duration(),
+			})
+		})
+		made++
+	}
+	return made
+}
