@@ -1,0 +1,147 @@
+// Command benchjson runs the simulator's performance benchmarks and
+// writes the results as machine-readable JSON, so observability-layer
+// overhead can be tracked across commits.
+//
+//	benchjson                # writes BENCH_obs.json
+//	benchjson -o out.json    # custom path
+//	benchjson -benchtime 3s  # longer sampling
+//
+// Three benchmarks run: the engine schedule/run micro-benchmark
+// (mirroring BenchmarkEngineScheduleRun in internal/sim), and a short
+// EW-MAC scenario with observability off and fully on — the pair that
+// bounds the event bus's cost.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"ewmac"
+	"ewmac/internal/obs"
+	"ewmac/internal/sim"
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// EventsPerSec is the discrete-event execution rate, where known.
+	EventsPerSec float64 `json:"events_per_s,omitempty"`
+	Iterations   int     `json:"iterations"`
+}
+
+func main() {
+	// Register the testing package's flags (test.benchtime below) so
+	// testing.Benchmark works outside "go test".
+	testing.Init()
+	out := flag.String("o", "BENCH_obs.json", "output file")
+	benchtime := flag.Duration("benchtime", time.Second, "target sampling time per benchmark")
+	flag.Parse()
+
+	// testing.Benchmark honours this global; there is no public field
+	// for it on testing.B.
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	results := []result{
+		benchEngine(),
+		benchScenario("ewmac/obs-off", nil),
+		benchScenario("ewmac/obs-on", &ewmac.Observe{
+			Recorder: obs.RecorderFunc(func(sim.Time, obs.Event) {}),
+			Trace:    io.Discard,
+			Report:   true,
+		}),
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Printf("%-18s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.EventsPerSec > 0 {
+			fmt.Printf(" %12.0f events/s", r.EventsPerSec)
+		}
+		fmt.Println()
+	}
+}
+
+// benchEngine mirrors internal/sim's BenchmarkEngineScheduleRun: one op
+// schedules and executes a batch of 1024 events.
+func benchEngine() result {
+	const batch = 1024
+	br := testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(1)
+		r := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batch; j++ {
+				e.ScheduleIn(time.Duration(r.Intn(1000))*time.Microsecond, sim.PriorityMAC, func() {})
+			}
+			e.Run()
+		}
+	})
+	res := toResult("engine/schedule-run", br)
+	if ns := res.NsPerOp; ns > 0 {
+		res.EventsPerSec = batch / ns * 1e9
+	}
+	return res
+}
+
+// benchScenario measures a short Table 2 EW-MAC run; observe toggles
+// the full observability stack to expose its marginal cost.
+func benchScenario(name string, observe *ewmac.Observe) result {
+	var lastEPS float64
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := ewmac.DefaultConfig(ewmac.EWMAC)
+			cfg.SimTime = 60 * time.Second
+			cfg.Seed = int64(i + 1)
+			cfg.Observe = observe
+			res, err := ewmac.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Report != nil {
+				lastEPS = res.Report.EngineEventsPerS
+			}
+		}
+	})
+	res := toResult(name, br)
+	res.EventsPerSec = lastEPS
+	return res
+}
+
+func toResult(name string, br testing.BenchmarkResult) result {
+	return result{
+		Name:        name,
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		Iterations:  br.N,
+	}
+}

@@ -2,34 +2,26 @@
 // metric summary.
 //
 //	uansim -proto ewmac -nodes 60 -load 0.6 -sim 300s -seed 1
-//	uansim -proto all -load 0.8          # compare the four protocols
-//	uansim -proto ewmac -trace run.jsonl # per-frame channel trace
+//	uansim -proto all -load 0.8              # compare the four protocols
+//	uansim -proto ewmac -trace run.jsonl     # trace-v2 event stream
+//	uansim -proto ewmac -timeseries ts.csv   # periodic health samples
+//	uansim -proto ewmac -report run.json     # per-run report (JSON)
+//	uansim -proto ewmac -report run.prom     # same, Prometheus text
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"ewmac"
 	"ewmac/internal/experiment"
-	"ewmac/internal/packet"
 )
-
-// traceEvent is one frame delivery in the JSONL trace.
-type traceEvent struct {
-	AtSec    float64 `json:"at"`
-	Src      uint16  `json:"src"`
-	Dst      uint16  `json:"dst"`
-	Kind     string  `json:"kind"`
-	Seq      uint32  `json:"seq"`
-	Bits     int     `json:"bits"`
-	DelaySec float64 `json:"delay"`
-	LevelDB  float64 `json:"level_db"`
-}
 
 func main() {
 	os.Exit(run())
@@ -47,7 +39,13 @@ func run() int {
 		simTime = flag.Duration("sim", 300*time.Second, "simulated time")
 		seed    = flag.Int64("seed", 1, "random seed")
 		verbose = flag.Bool("v", false, "print extended counters")
-		trace   = flag.String("trace", "", "write a JSONL channel trace to this file (single protocol only)")
+
+		trace      = flag.String("trace", "", "write the trace-v2 JSONL event stream to this file (single protocol only)")
+		timeseries = flag.String("timeseries", "", "write periodic CSV health samples to this file (single protocol only)")
+		report     = flag.String("report", "", "write a run report to this file: .json for JSON, otherwise Prometheus text (single protocol only)")
+		sample     = flag.Duration("sample", time.Second, "sampling period for -timeseries, in simulated time")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +54,38 @@ func run() int {
 		protos = ewmac.Protocols
 	} else {
 		protos = []ewmac.Protocol{ewmac.Protocol(*proto)}
+	}
+
+	// Observability outputs are one file per run; with several
+	// protocols selected they would silently interleave or clobber each
+	// other, so that combination is an error, not a no-op.
+	if len(protos) > 1 {
+		for _, o := range []struct{ name, val string }{
+			{"trace", *trace}, {"timeseries", *timeseries}, {"report", *report},
+		} {
+			if o.val != "" {
+				fmt.Fprintf(os.Stderr,
+					"uansim: -%s writes one file per run and needs a single protocol; got %d (-proto %s)\n",
+					o.name, len(protos), *proto)
+				return 2
+			}
+		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	fmt.Printf("%-8s %10s %8s %10s %9s %12s %9s\n",
@@ -70,46 +100,28 @@ func run() int {
 		cfg.MobileFraction = *mobile
 		cfg.SimTime = *simTime
 		cfg.Seed = *seed
-		var closeTrace func() error
-		if *trace != "" && len(protos) == 1 {
-			f, err := os.Create(*trace)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
-				return 1
-			}
-			w := bufio.NewWriter(f)
-			enc := json.NewEncoder(w)
-			cfg.Instrument = &experiment.Instrumentation{
-				Trace: func(src, dst packet.NodeID, fr *packet.Frame, delay time.Duration, level float64) {
-					_ = enc.Encode(traceEvent{
-						AtSec:    fr.Timestamp.Seconds(),
-						Src:      uint16(src),
-						Dst:      uint16(dst),
-						Kind:     fr.Kind.String(),
-						Seq:      fr.Seq,
-						Bits:     fr.Bits(),
-						DelaySec: delay.Seconds(),
-						LevelDB:  level,
-					})
-				},
-			}
-			closeTrace = func() error {
-				if err := w.Flush(); err != nil {
-					return err
-				}
-				return f.Close()
-			}
-		}
-		res, err := ewmac.Run(cfg)
-		if closeTrace != nil {
-			if cerr := closeTrace(); cerr != nil {
-				fmt.Fprintf(os.Stderr, "uansim: trace: %v\n", cerr)
-				return 1
-			}
-		}
+
+		obsCfg, closeObs, err := observeFor(*trace, *timeseries, *report, *sample)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
 			return 1
+		}
+		cfg.Observe = obsCfg
+
+		res, runErr := ewmac.Run(cfg)
+		if err := closeObs(); err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 1
+		}
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", runErr)
+			return 1
+		}
+		if *report != "" {
+			if err := writeReport(*report, res.Report); err != nil {
+				fmt.Fprintf(os.Stderr, "uansim: report: %v\n", err)
+				return 1
+			}
 		}
 		s := res.Summary
 		fmt.Printf("%-8s %10.4f %8.1f %10.2f %9.1f %12d %9d\n",
@@ -126,5 +138,88 @@ func run() int {
 			fmt.Printf("  fairness (Jain): %.3f\n", s.Fairness)
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// observeFor builds the run's Observe section from the output flags.
+// The returned close function flushes and closes every opened file; it
+// is safe to call when nothing was opened.
+func observeFor(trace, timeseries, report string, sample time.Duration) (*experiment.Observe, func() error, error) {
+	if trace == "" && timeseries == "" && report == "" {
+		return nil, func() error { return nil }, nil
+	}
+	o := &experiment.Observe{SampleEvery: sample, Report: report != ""}
+	var closers []func() error
+	closeAll := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	open := func(path string) (*bufio.Writer, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		w := bufio.NewWriter(f)
+		closers = append(closers, func() error {
+			if err := w.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+		return w, nil
+	}
+	if trace != "" {
+		w, err := open(trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		o.Trace = w
+	}
+	if timeseries != "" {
+		w, err := open(timeseries)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		o.TimeSeries = w
+	}
+	return o, closeAll, nil
+}
+
+// writeReport renders the run report to path, choosing the format by
+// extension: .json for indented JSON, anything else Prometheus text.
+func writeReport(path string, rep *ewmac.RunReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+	} else if err := rep.WriteProm(f); err != nil {
+		return err
+	}
+	return f.Close()
 }

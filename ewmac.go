@@ -32,6 +32,7 @@ import (
 	"ewmac/internal/experiment"
 	"ewmac/internal/figures"
 	"ewmac/internal/metrics"
+	"ewmac/internal/obs"
 )
 
 // Protocol selects the MAC protocol under test.
@@ -59,6 +60,21 @@ type Config = experiment.Config
 // Result is one run's outcome: the metric summary plus topology
 // characteristics and raw per-node samples.
 type Result = experiment.Result
+
+// Observe configures the unified observability layer for a run:
+// structured event tracing (trace-v2 JSONL), periodic time-series
+// sampling (CSV), and per-run report collection. Set Config.Observe.
+type Observe = experiment.Observe
+
+// Instrumentation taps channel- and PHY-level events.
+//
+// Deprecated: Instrumentation is a compatibility shim fed from the
+// observability event bus; new code should use Observe.Recorder.
+type Instrumentation = experiment.Instrumentation
+
+// RunReport is the per-run observability summary attached to
+// Result.Report when Observe.Report is enabled.
+type RunReport = obs.RunReport
 
 // Summary carries the paper's evaluation metrics for one run
 // (Equations (2)–(4)).

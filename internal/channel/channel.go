@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/phy"
 	"ewmac/internal/sim"
@@ -38,6 +39,7 @@ type Channel struct {
 	net    *topology.Network
 	modems map[packet.NodeID]*phy.Modem
 	trace  TraceFunc
+	rec    obs.Recorder
 
 	// Deliveries counts scheduled frame arrivals (per receiver).
 	deliveries uint64
@@ -79,6 +81,11 @@ func (c *Channel) Register(m *phy.Modem) error {
 // SetTrace installs a delivery observer (nil to disable).
 func (c *Channel) SetTrace(t TraceFunc) { c.trace = t }
 
+// SetRecorder installs the observability event sink (nil to disable).
+// Every scheduled delivery is recorded as an obs.FrameEmit at emission
+// time, the trace-v2 superset of TraceFunc.
+func (c *Channel) SetRecorder(r obs.Recorder) { c.rec = r }
+
 // Deliveries reports how many frame arrivals have been scheduled.
 func (c *Channel) Deliveries() uint64 { return c.deliveries }
 
@@ -116,6 +123,11 @@ func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duratio
 		syncable := dist <= model.MaxRangeM
 		if c.trace != nil {
 			c.trace(src, id, f, delay, level)
+		}
+		if c.rec != nil {
+			c.rec.Record(c.eng.Now(), obs.FrameEmit{
+				Src: src, Dst: id, Frame: f, Delay: delay, LevelDB: level,
+			})
 		}
 		c.deliveries++
 		fc := f.Clone()

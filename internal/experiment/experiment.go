@@ -22,6 +22,7 @@ import (
 	"ewmac/internal/mac/saloha"
 	"ewmac/internal/mac/sfama"
 	"ewmac/internal/metrics"
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/phy"
 	"ewmac/internal/routing"
@@ -110,8 +111,14 @@ type Config struct {
 	EW   ewmac.Options
 	Ropa ropa.Options
 	CS   csmac.Options
-	// Instrument attaches observability hooks (verification oracles,
-	// trace writers); nil disables.
+	// Observe configures the unified observability layer (structured
+	// event tracing, time-series sampling, run reports); nil disables.
+	Observe *Observe
+	// Instrument attaches legacy observability taps; nil disables.
+	//
+	// Deprecated: Instrument is a compatibility shim over the event
+	// bus — its taps are fed from the same obs events as Observe
+	// consumers. New code should use Observe.Recorder.
 	Instrument *Instrumentation
 }
 
@@ -178,6 +185,9 @@ type Result struct {
 	MaxPairDelay time.Duration
 	// PerNode keeps raw samples for deeper inspection.
 	PerNode []metrics.NodeSample
+	// Report is the observability summary, set when Config.Observe
+	// enables report collection.
+	Report *obs.RunReport
 }
 
 // Run executes one scenario.
@@ -209,8 +219,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Instrument != nil && cfg.Instrument.Trace != nil {
-		ch.SetTrace(cfg.Instrument.Trace)
+	ro := newRunObs(cfg)
+	if ro.rec != nil {
+		ch.SetRecorder(ro.rec)
 	}
 
 	slots := mac.SlotConfig{
@@ -235,6 +246,9 @@ func Run(cfg Config) (*Result, error) {
 		if err := ch.Register(modem); err != nil {
 			return nil, err
 		}
+		if ro.rec != nil {
+			modem.SetRecorder(ro.rec)
+		}
 		proto, err := buildProtocol(cfg, mac.Config{
 			ID:          n.ID,
 			Engine:      eng,
@@ -247,20 +261,12 @@ func Run(cfg Config) (*Result, error) {
 			CWMax:       cfg.CWMax,
 			EnableHello: true,
 			HelloWindow: cfg.Warmup,
+			Recorder:    ro.rec,
 		})
 		if err != nil {
 			return nil, err
 		}
 		modem.SetListener(proto)
-		if cfg.Instrument != nil {
-			id := n.ID
-			if tap := cfg.Instrument.RxTap; tap != nil {
-				modem.SetRxTap(func(f *packet.Frame) { tap(eng.Now(), id, f) })
-			}
-			if tap := cfg.Instrument.LossTap; tap != nil {
-				modem.SetLossTap(func(f *packet.Frame, r phy.LossReason) { tap(eng.Now(), id, f, r) })
-			}
-		}
 		modems = append(modems, modem)
 		protos = append(protos, proto)
 	}
@@ -311,6 +317,10 @@ func Run(cfg Config) (*Result, error) {
 		eng.ScheduleIn(cfg.MobilityStep, sim.PriorityObserver, step)
 	}
 
+	if err := ro.startSampler(cfg, eng, slots, protos, modems, endAt); err != nil {
+		return nil, err
+	}
+
 	// Baseline energy snapshot at warmup so initialization cost does
 	// not skew the power comparison window.
 	baseline := make([]energy.Breakdown, len(modems))
@@ -347,12 +357,17 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	rep, err := ro.finish(cfg, eng)
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Config:       cfg,
 		Summary:      sum,
 		MeanDegree:   net.MeanDegree(),
 		MaxPairDelay: net.MaxPairDelay(),
 		PerNode:      samples,
+		Report:       rep,
 	}, nil
 }
 

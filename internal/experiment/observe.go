@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"io"
+	"time"
+
+	"ewmac/internal/mac"
+	"ewmac/internal/obs"
+	"ewmac/internal/phy"
+	"ewmac/internal/sim"
+)
+
+// Observe configures the unified observability layer for one run. All
+// fields are optional; the zero value (or a nil *Observe) disables
+// everything, in which case emission sites across the stack reduce to
+// one nil check each.
+type Observe struct {
+	// Recorder receives every structured event, in addition to the
+	// sinks implied by the fields below. Use it for custom analysis or
+	// test assertions over the live event stream.
+	Recorder obs.Recorder
+	// Trace, when non-nil, receives the trace-v2 JSONL stream: one
+	// event object per line, each carrying "at" (fractional simulated
+	// seconds) and "event" (the stable tag). See the README's
+	// Observability section for the schema.
+	Trace io.Writer
+	// TimeSeries, when non-nil, receives periodic CSV samples of engine
+	// and protocol health (queue depth, events/s, backlog, slot
+	// utilization, extra-communication success, energy).
+	TimeSeries io.Writer
+	// SampleEvery is the TimeSeries period in simulated time
+	// (default 1s).
+	SampleEvery time.Duration
+	// Report enables event aggregation into Result.Report.
+	Report bool
+}
+
+// recorder adapts the legacy Instrumentation taps to the event bus, so
+// pre-obs consumers (the verification oracle, debug tracers) keep
+// working unchanged while riding the same stream as everything else.
+func (ins *Instrumentation) recorder() obs.Recorder {
+	if ins == nil || (ins.Trace == nil && ins.RxTap == nil && ins.LossTap == nil) {
+		return nil
+	}
+	return obs.RecorderFunc(func(at sim.Time, e obs.Event) {
+		switch ev := e.(type) {
+		case obs.FrameEmit:
+			if ins.Trace != nil {
+				ins.Trace(ev.Src, ev.Dst, ev.Frame, ev.Delay, ev.LevelDB)
+			}
+		case obs.FrameRx:
+			if ins.RxTap != nil {
+				ins.RxTap(at, ev.Node, ev.Frame)
+			}
+		case obs.FrameLoss:
+			if ins.LossTap != nil {
+				ins.LossTap(at, ev.Node, ev.Frame, phy.LossReason(ev.ReasonCode))
+			}
+		}
+	})
+}
+
+// runObs bundles the per-run observability consumers.
+type runObs struct {
+	rec       obs.Recorder
+	jsonl     *obs.JSONL
+	collector *obs.Collector
+	sampler   *obs.Sampler
+}
+
+// newRunObs assembles the recorder fan-out for one run; rec stays nil
+// when nothing is enabled.
+func newRunObs(cfg Config) *runObs {
+	ro := &runObs{}
+	var recs []obs.Recorder
+	if o := cfg.Observe; o != nil {
+		recs = append(recs, o.Recorder)
+		if o.Trace != nil {
+			ro.jsonl = obs.NewJSONL(o.Trace)
+			recs = append(recs, ro.jsonl)
+		}
+		if o.Report {
+			ro.collector = obs.NewCollector()
+			recs = append(recs, ro.collector)
+		}
+	}
+	recs = append(recs, cfg.Instrument.recorder())
+	ro.rec = obs.Multi(recs...)
+	return ro
+}
+
+// startSampler arms the time-series sampler with the domain columns
+// the protocol stack can answer. No-op unless TimeSeries is set.
+func (ro *runObs) startSampler(cfg Config, eng *sim.Engine, slots mac.SlotConfig,
+	protos []mac.Protocol, modems []*phy.Modem, until sim.Time) error {
+	o := cfg.Observe
+	if o == nil || o.TimeSeries == nil {
+		return nil
+	}
+	// slot_util needs per-interval deltas; the closures share this state.
+	var lastFrames uint64
+	lastAt := eng.Now()
+	framesTx := func() uint64 {
+		var n uint64
+		for _, m := range modems {
+			n += m.Stats().FramesTx
+		}
+		return n
+	}
+	counters := func() mac.Counters {
+		var sum mac.Counters
+		for _, p := range protos {
+			sum = sum.Add(p.Counters())
+		}
+		return sum
+	}
+	cols := []obs.Column{
+		{Name: "tx_backlog", Fn: func() float64 {
+			total := 0
+			for _, p := range protos {
+				total += p.QueueLen()
+			}
+			return float64(total)
+		}},
+		{Name: "slot_util", Fn: func() float64 {
+			// Fraction of the network's slot capacity spent transmitting
+			// over the last interval: one frame occupies one slot, and
+			// capacity is nodes × elapsed slots.
+			now := eng.Now()
+			frames := framesTx()
+			dSlots := now.Sub(lastAt).Seconds() / slots.Len().Seconds()
+			df := frames - lastFrames
+			lastFrames, lastAt = frames, now
+			if dSlots <= 0 || len(modems) == 0 {
+				return 0
+			}
+			return float64(df) / (dSlots * float64(len(modems)))
+		}},
+		{Name: "delivered", Fn: func() float64 {
+			return float64(counters().DeliveredPackets)
+		}},
+		{Name: "extra_success_rate", Fn: func() float64 {
+			c := counters()
+			if c.ExtraAttempts == 0 {
+				return 0
+			}
+			return float64(c.ExtraCompletions) / float64(c.ExtraAttempts)
+		}},
+		{Name: "energy_j", Fn: func() float64 {
+			var j float64
+			for _, m := range modems {
+				if b, err := m.Energy(); err == nil {
+					j += b.Total()
+				}
+			}
+			return j
+		}},
+	}
+	s, err := obs.NewSampler(eng, o.TimeSeries, o.SampleEvery, cols...)
+	if err != nil {
+		return err
+	}
+	s.SetRecorder(ro.rec)
+	s.Start(until)
+	ro.sampler = s
+	return nil
+}
+
+// finish flushes the stream consumers and, when report collection is
+// on, reduces the collected events to a RunReport stamped with the
+// trial identity and engine statistics.
+func (ro *runObs) finish(cfg Config, eng *sim.Engine) (*obs.RunReport, error) {
+	if ro.sampler != nil {
+		if err := ro.sampler.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	if ro.jsonl != nil {
+		if err := ro.jsonl.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	if ro.collector == nil {
+		return nil, nil
+	}
+	rep := ro.collector.Report((cfg.SimTime - cfg.Warmup).Seconds())
+	rep.Protocol = cfg.Protocol.DisplayName()
+	rep.Seed = cfg.Seed
+	rep.Nodes = cfg.Nodes
+	ls := eng.LoopStats()
+	rep.EngineEvents = ls.Executed
+	if w := ls.Wall.Seconds(); w > 0 {
+		rep.EngineEventsPerS = float64(ls.Executed) / w
+		rep.VirtualWallRatio = ls.Now.Seconds() / w
+	}
+	return rep, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/phy"
 	"ewmac/internal/sim"
@@ -107,6 +108,10 @@ type Config struct {
 	// contention slot. Slotted-FAMA-derived protocols defer on any
 	// overheard RTS; EW-MAC instead arbitrates by random priority.
 	LenientGrant bool
+	// Recorder is the observability event sink; nil (the default)
+	// disables all MAC-level event emission at the cost of one branch
+	// per emission site.
+	Recorder obs.Recorder
 }
 
 func (c *Config) applyDefaults() {
@@ -241,6 +246,34 @@ func (b *Base) RNG() *sim.RNG { return b.rng }
 // Role returns the current primary-handshake role.
 func (b *Base) Role() Role { return b.role }
 
+// Observing reports whether an observability recorder is attached.
+// Emission sites use it to skip event construction entirely when
+// observability is off.
+func (b *Base) Observing() bool { return b.cfg.Recorder != nil }
+
+// Emit records e at the current instant if a recorder is attached.
+// Protocol implementations use it for their own events.
+func (b *Base) Emit(e obs.Event) {
+	if r := b.cfg.Recorder; r != nil {
+		r.Record(b.cfg.Engine.Now(), e)
+	}
+}
+
+// setRole switches the primary-handshake role, recording the
+// transition when observability is on.
+func (b *Base) setRole(to Role) {
+	if r := b.cfg.Recorder; r != nil && to != b.role {
+		now := b.cfg.Engine.Now()
+		r.Record(now, obs.MACState{
+			Node: b.cfg.ID,
+			From: b.role.String(),
+			To:   to.String(),
+			Slot: b.cfg.Slots.SlotAt(now),
+		})
+	}
+	b.role = to
+}
+
 // Counters implements Protocol.
 func (b *Base) Counters() Counters { return b.counters }
 
@@ -361,6 +394,9 @@ func (b *Base) onSlotStart(s int64) {
 		if s >= b.rtsSlot+2 {
 			// No CTS arrived: contention failed.
 			b.counters.ContentionFailures++
+			if b.Observing() {
+				b.Emit(obs.Contention{Node: b.cfg.ID, Peer: b.cur.Dst, Outcome: obs.ContentionTimeout, Slot: s})
+			}
 			b.failRound(s)
 		}
 	case RoleSendData:
@@ -427,7 +463,11 @@ func (b *Base) receiverGrant(s int64) {
 		return
 	}
 	b.counters.CTSSent++
-	b.role = RoleWaitData
+	if b.Observing() {
+		b.Emit(obs.Contention{Node: b.cfg.ID, Peer: winner.Src, Outcome: obs.ContentionGrant, Slot: s})
+		b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: winner.Src, Period: "II", Slot: s})
+	}
+	b.setRole(RoleWaitData)
 	b.rxDataSlot = s + 1
 	b.rxSender = winner.Src
 	b.rxDataTx = b.DataTx(winner.DataBits)
@@ -474,7 +514,11 @@ func (b *Base) maybeContend(s int64) {
 		return
 	}
 	b.counters.RTSSent++
-	b.role = RoleWaitCTS
+	if b.Observing() {
+		b.Emit(obs.Contention{Node: b.cfg.ID, Peer: head.Dst, Outcome: obs.ContentionRTS, Slot: s})
+		b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: head.Dst, Period: "I", Slot: s})
+	}
+	b.setRole(RoleWaitCTS)
 	b.cur = head
 	b.hasCur = true
 	b.rtsSlot = s
@@ -497,7 +541,7 @@ func (b *Base) randomPriority(s int64) float64 {
 
 func (b *Base) transmitData(s int64) {
 	if !b.hasCur {
-		b.role = RoleIdle
+		b.setRole(RoleIdle)
 		return
 	}
 	f := b.NewFrame(packet.KindData, b.cur.Dst)
@@ -510,7 +554,10 @@ func (b *Base) transmitData(s int64) {
 		b.failRound(s)
 		return
 	}
-	b.role = RoleWaitAck
+	if b.Observing() {
+		b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: b.cur.Dst, Period: "IV", Slot: s})
+	}
+	b.setRole(RoleWaitAck)
 	b.ackDeadline = b.cfg.Slots.AckSlot(s, b.DataTx(b.cur.Bits), b.curTau) + 1
 }
 
@@ -520,10 +567,13 @@ func (b *Base) finishReceive(s int64) {
 		ack.Seq = b.rxDataFrame.Seq
 		ack.PairDelay = b.rxTau
 		if err := b.SendNow(ack); err == nil {
+			if b.Observing() {
+				b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: b.rxSender, Period: "VI", Slot: s})
+			}
 			b.deliverData(b.rxDataFrame, false)
 		}
 	}
-	b.role = RoleIdle
+	b.setRole(RoleIdle)
 	b.rxSender = packet.Nobody
 	b.rxDataFrame = nil
 	b.rxGotData = false
@@ -542,7 +592,14 @@ func (b *Base) deliverData(f *packet.Frame, extra bool) {
 	if extra {
 		b.counters.ExtraDeliveredPackets++
 	}
-	b.counters.LatencySum += b.cfg.Engine.Now().Duration() - f.GeneratedAt
+	latency := b.cfg.Engine.Now().Duration() - f.GeneratedAt
+	b.counters.LatencySum += latency
+	if b.Observing() {
+		b.Emit(obs.Delivery{
+			Node: b.cfg.ID, Origin: f.Origin, Seq: f.Seq,
+			Bits: f.DataBits, Latency: latency, Extra: extra,
+		})
+	}
 }
 
 // DeliverData exposes delivery accounting to protocol hooks handling
@@ -552,7 +609,7 @@ func (b *Base) DeliverData(f *packet.Frame, extra bool) { b.deliverData(f, extra
 // failRound aborts the current sender round, leaving the packet at the
 // queue head and backing off.
 func (b *Base) failRound(s int64) {
-	b.role = RoleIdle
+	b.setRole(RoleIdle)
 	b.curAttempts++
 	if b.cfg.MaxRetries > 0 && b.curAttempts >= b.cfg.MaxRetries {
 		b.queue.Pop()
@@ -709,6 +766,9 @@ func (b *Base) onRTS(f *packet.Frame) {
 	b.ledger.ObserveRTS(f, sendSlot, b.DataTx(f.DataBits))
 	if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
 		// My target is itself contending for someone else.
+		if b.Observing() {
+			b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: sendSlot})
+		}
 		b.hooks.OnContentionLost(f)
 	}
 	b.hooks.OnOverheard(f)
@@ -722,7 +782,11 @@ func (b *Base) onCTS(f *packet.Frame, now sim.Time) {
 			if tau, ok := b.table.Delay(f.Src, now); ok {
 				b.curTau = tau
 			}
-			b.role = RoleSendData
+			if b.Observing() {
+				b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionWon, Slot: ctsSlot})
+				b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: f.Src, Period: "III", Slot: ctsSlot})
+			}
+			b.setRole(RoleSendData)
 			b.dataSlot = ctsSlot + 1
 			b.hooks.OnNegotiated(f)
 		}
@@ -731,6 +795,9 @@ func (b *Base) onCTS(f *packet.Frame, now sim.Time) {
 	b.ledger.ObserveCTS(f, ctsSlot, b.DataTx(f.DataBits))
 	if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
 		// My target granted someone else.
+		if b.Observing() {
+			b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: ctsSlot})
+		}
 		b.hooks.OnContentionLost(f)
 	}
 	b.hooks.OnOverheard(f)
@@ -772,7 +839,13 @@ func (b *Base) onAck(f *packet.Frame) {
 			b.curAttempts = 0
 			b.cw = b.cfg.CWMin
 			b.hasCur = false
-			b.role = RoleIdle
+			if b.Observing() {
+				b.Emit(obs.SlotPeriod{
+					Node: b.cfg.ID, Peer: f.Src, Period: "VII",
+					Slot: b.cfg.Slots.SlotAt(b.cfg.Engine.Now()),
+				})
+			}
+			b.setRole(RoleIdle)
 			b.headSince = b.cfg.Slots.SlotAt(b.cfg.Engine.Now())
 		}
 		return
@@ -785,5 +858,15 @@ func (b *Base) onAck(f *packet.Frame) {
 // statistics can shadow this method.
 func (b *Base) OnFrameLost(*packet.Frame, phy.LossReason) {}
 
-// OnTxDone implements phy.Listener.
-func (b *Base) OnTxDone(*packet.Frame) {}
+// OnTxDone implements phy.Listener. The only base duty is the period-V
+// timeline record: when a data frame finishes clocking out, its sender
+// enters the wait-for-Ack period of Figure 2.
+func (b *Base) OnTxDone(f *packet.Frame) {
+	if b.Observing() && f.Kind == packet.KindData && b.role == RoleWaitAck {
+		now := b.cfg.Engine.Now()
+		b.Emit(obs.SlotPeriod{
+			Node: b.cfg.ID, Peer: f.Dst, Period: "V",
+			Slot: b.cfg.Slots.SlotAt(now),
+		})
+	}
+}

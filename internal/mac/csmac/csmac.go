@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ewmac/internal/mac"
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/sim"
 )
@@ -199,6 +200,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	// whole steal must be received at j before the negotiated data
 	// lands there.
 	if dur+m.opts.Guard > tauPair {
+		m.recordExtra(j, obs.ExtraDeny, "gap-too-small")
 		return
 	}
 	slots := m.Slots()
@@ -206,6 +208,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	dataLands := slots.StartOf(ctsSlot + 1).Add(tauPair)
 	sendT := now.Add(m.opts.Guard)
 	if sendT.Add(tau + dur + m.opts.Guard).After(dataLands) {
+		m.recordExtra(j, obs.ExtraDeny, "too-late")
 		return
 	}
 
@@ -223,6 +226,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	m.SetHold(deadline)
 	m.SendAt(sendT, data, func(error) { m.abort(st, false) })
 	m.CountersRef().ExtraAttempts++
+	m.recordExtra(j, obs.ExtraRequest, "")
 	st.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
 		if m.steal == st {
 			m.abort(st, true)
@@ -239,6 +243,7 @@ func (m *MAC) abort(st *stealState, failed bool) {
 	if failed {
 		m.CountersRef().Retransmissions++
 		m.CountersRef().RetransmittedBits += uint64(st.pkt.Bits)
+		m.recordExtra(st.pkt.Dst, obs.ExtraAbort, "steal-unacked")
 	}
 	if st.timeout != nil {
 		st.timeout.Cancel()
@@ -270,9 +275,17 @@ func (m *MAC) OnExtraFrame(f *packet.Frame) {
 			return
 		}
 		m.CountersRef().ExtraCompletions++
+		m.recordExtra(f.Src, obs.ExtraComplete, "")
 		m.CompleteBySeq(st.pkt.Origin, st.pkt.Seq)
 		m.abort(st, false)
 	default:
+	}
+}
+
+// recordExtra emits one stealing-lifecycle event when observing.
+func (m *MAC) recordExtra(peer packet.NodeID, action, reason string) {
+	if m.Observing() {
+		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: action, Reason: reason})
 	}
 }
 

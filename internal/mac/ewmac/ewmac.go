@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ewmac/internal/mac"
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/sim"
 )
@@ -145,6 +146,7 @@ func (m *MAC) OnOverheard(*packet.Frame) {}
 // (j is the sender).
 func (m *MAC) OnContentionLost(cause *packet.Frame) {
 	if m.extra != nil || m.granted != nil {
+		m.denyExtra(cause.Src, "exchange-in-flight")
 		return
 	}
 	pkt, ok := m.Queue().Peek()
@@ -154,6 +156,7 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 	now := m.Engine().Now()
 	tau, known := m.Table().Delay(cause.Src, now)
 	if !known {
+		m.denyExtra(cause.Src, "unknown-delay")
 		return
 	}
 
@@ -178,9 +181,12 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 	arrivalStart := sendT.Add(tau)
 	arrivalEnd := arrivalStart.Add(exrDur)
 	if arrivalEnd.After(winEnd) {
-		return // window too small — give up (paper: back to Quiet)
+		// Window too small — give up (paper: back to Quiet).
+		m.denyExtra(cause.Src, "window-too-small")
+		return
 	}
 	if !m.clearAtNeighbors(sendT, exrDur, cause.Src) {
+		m.denyExtra(cause.Src, "neighbor-conflict")
 		return
 	}
 
@@ -192,11 +198,30 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 	m.SetHold(deadline)
 	m.SendAt(sendT, exr, func(error) { m.abortExtra(att) })
 	m.CountersRef().ExtraAttempts++
+	if m.Observing() {
+		m.Emit(obs.Extra{Node: m.ID(), Peer: cause.Src, Action: obs.ExtraRequest})
+	}
 	att.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
 		if m.extra == att && att.phase == phaseRequested {
+			m.denyExtra(att.target, "exc-timeout")
 			m.abortExtra(att)
 		}
 	})
+}
+
+// denyExtra records an extra-communication denial with the admission
+// rule that fired; it is the diagnostic for a starved extra path.
+func (m *MAC) denyExtra(peer packet.NodeID, reason string) {
+	if m.Observing() {
+		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: obs.ExtraDeny, Reason: reason})
+	}
+}
+
+// recordAbort records an in-flight extra attempt being abandoned.
+func (m *MAC) recordAbort(peer packet.NodeID, reason string) {
+	if m.Observing() {
+		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: obs.ExtraAbort, Reason: reason})
+	}
 }
 
 // clearAtNeighbors checks that a transmission starting at sendT with
@@ -265,6 +290,7 @@ func (m *MAC) OnExtraFrame(f *packet.Frame) {
 // primary exchange completes.
 func (m *MAC) onEXR(f *packet.Frame) {
 	if m.granted != nil {
+		m.denyExtra(f.Src, "already-granted")
 		return // one extra grant at a time
 	}
 	now := m.Engine().Now()
@@ -278,16 +304,22 @@ func (m *MAC) onEXR(f *packet.Frame) {
 	// (extra control packets are themselves extra communication, §4.2).
 	if busyAt, busy := m.NextBusyAt(); busy {
 		if now.Add(excDur + m.opts.Guard).After(busyAt) {
+			m.denyExtra(f.Src, "gap-too-small")
 			return
 		}
 	}
 	if !m.clearAtNeighbors(now, excDur, f.Src) {
+		m.denyExtra(f.Src, "neighbor-conflict")
 		return
 	}
 	grantAt := m.PrimaryFreeAt().Add(2 * m.opts.Guard)
 	exc.GrantAt = grantAt.Duration()
 	if err := m.SendNow(exc); err != nil {
+		m.denyExtra(f.Src, "transducer-busy")
 		return
+	}
+	if m.Observing() {
+		m.Emit(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraGrant})
 	}
 	dataDur := m.DataTx(f.DataBits)
 	m.granted = &grantedExtra{from: f.Src, bits: f.DataBits, at: grantAt}
@@ -320,6 +352,7 @@ func (m *MAC) onEXC(f *packet.Frame) {
 	dataDur := m.DataTx(att.pkt.Bits)
 	if !known || sendT.Before(now.Add(m.opts.Guard)) ||
 		!m.clearAtNeighbors(sendT, dataDur, att.target) {
+		m.recordAbort(att.target, "grant-unusable")
 		m.abortExtra(att)
 		return
 	}
@@ -344,6 +377,7 @@ func (m *MAC) onEXC(f *packet.Frame) {
 			return
 		}
 		if !m.clearAtNeighbors(m.Engine().Now(), dataDur, att.target) {
+			m.recordAbort(att.target, "late-neighbor-conflict")
 			m.abortExtra(att)
 			return
 		}
@@ -381,6 +415,9 @@ func (m *MAC) onEXAck(f *packet.Frame) {
 		return
 	}
 	m.CountersRef().ExtraCompletions++
+	if m.Observing() {
+		m.Emit(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraComplete})
+	}
 	if !m.CompleteHead(att.pkt.Origin, att.pkt.Seq) {
 		m.CompleteBySeq(att.pkt.Origin, att.pkt.Seq)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ewmac/internal/mac"
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/sim"
 )
@@ -184,14 +185,17 @@ func (m *MAC) OnNegotiated(*packet.Frame) {
 	m.Piggyback(exc)
 	if busyAt, busy := m.NextBusyAt(); busy {
 		if now.Add(m.FrameTx(exc) + m.opts.Guard).After(busyAt) {
+			m.recordExtra(req.from, obs.ExtraDeny, "gap-too-small")
 			return
 		}
 	}
 	grantAt := m.PrimaryFreeAt().Add(2 * m.opts.Guard)
 	exc.GrantAt = grantAt.Duration()
 	if err := m.SendNow(exc); err != nil {
+		m.recordExtra(req.from, obs.ExtraDeny, "transducer-busy")
 		return
 	}
+	m.recordExtra(req.from, obs.ExtraGrant, "")
 	// Stay off the channel until the appended exchange finishes.
 	release := grantAt.Add(m.DataTx(req.bits) + m.ControlTx() + 8*m.opts.Guard)
 	m.SetHold(release)
@@ -265,6 +269,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	m.SetHold(deadline)
 	m.SendAt(sendT, rta, func(error) { m.abort(st) })
 	m.CountersRef().ExtraAttempts++
+	m.recordExtra(f.Src, obs.ExtraRequest, "")
 	st.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
 		if m.pending == st && !st.granted {
 			m.abort(st)
@@ -281,6 +286,13 @@ func (m *MAC) abort(st *rtaState) {
 	}
 	m.pending = nil
 	m.SetHold(m.Engine().Now())
+}
+
+// recordExtra emits one appending-lifecycle event when observing.
+func (m *MAC) recordExtra(peer packet.NodeID, action, reason string) {
+	if m.Observing() {
+		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: action, Reason: reason})
+	}
 }
 
 // OnExtraFrame implements mac.Hooks.
@@ -306,6 +318,7 @@ func (m *MAC) OnExtraFrame(f *packet.Frame) {
 			return
 		}
 		m.CountersRef().ExtraCompletions++
+		m.recordExtra(f.Src, obs.ExtraComplete, "")
 		m.CompleteBySeq(st.pkt.Origin, st.pkt.Seq)
 		m.abort(st)
 	default:

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ewmac/internal/mac"
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/phy"
 	"ewmac/internal/sim"
@@ -109,11 +110,32 @@ func (m *MAC) scheduleSlot() {
 	})
 }
 
+// emit records one observability event when a recorder is attached.
+func (m *MAC) emit(e obs.Event) {
+	if r := m.cfg.Recorder; r != nil {
+		r.Record(m.cfg.Engine.Now(), e)
+	}
+}
+
+// setWaiting flips the single piece of protocol state S-ALOHA has,
+// recording it as an idle/wait-ack transition.
+func (m *MAC) setWaiting(w bool, slot int64) {
+	if m.cfg.Recorder != nil && w != m.waitingAck {
+		from, to := "idle", "wait-ack"
+		if !w {
+			from, to = to, from
+		}
+		m.emit(obs.MACState{Node: m.cfg.ID, From: from, To: to, Slot: slot})
+	}
+	m.waitingAck = w
+}
+
 func (m *MAC) onSlot(s int64) {
 	if m.waitingAck {
 		if s >= m.ackDeadline {
-			m.waitingAck = false
+			m.setWaiting(false, s)
 			m.counters.Retransmissions++
+			m.emitTimeout(s)
 			if head, ok := m.queue.Peek(); ok {
 				m.counters.RetransmittedBits += uint64(head.Bits)
 			}
@@ -151,7 +173,7 @@ func (m *MAC) onSlot(s int64) {
 	if err := m.cfg.Modem.Transmit(f); err != nil {
 		return
 	}
-	m.waitingAck = true
+	m.setWaiting(true, s)
 	m.sentSeq = head.Seq
 	// The data may span several slots (Equation (5)); the Ack comes one
 	// slot after it fully arrives, worst case τmax away.
@@ -173,7 +195,14 @@ func (m *MAC) OnFrameReceived(f *packet.Frame) {
 			m.seen[key] = struct{}{}
 			m.counters.DeliveredPackets++
 			m.counters.DeliveredBits += uint64(f.DataBits)
-			m.counters.LatencySum += m.cfg.Engine.Now().Duration() - f.GeneratedAt
+			latency := m.cfg.Engine.Now().Duration() - f.GeneratedAt
+			m.counters.LatencySum += latency
+			if m.cfg.Recorder != nil {
+				m.emit(obs.Delivery{
+					Node: m.cfg.ID, Origin: f.Origin, Seq: f.Seq,
+					Bits: f.DataBits, Latency: latency,
+				})
+			}
 		}
 		ack := &packet.Frame{
 			Kind: packet.KindAck, Src: m.cfg.ID, Dst: f.Src, Seq: f.Seq,
@@ -190,12 +219,25 @@ func (m *MAC) OnFrameReceived(f *packet.Frame) {
 		if f.Dst != m.cfg.ID || !m.waitingAck || f.Seq != m.sentSeq {
 			return
 		}
-		m.waitingAck = false
+		m.setWaiting(false, m.cfg.Slots.SlotAt(m.cfg.Engine.Now()))
 		m.queue.Pop()
 		m.counters.AckedPackets++
 		m.cw = m.cfg.CWMin
 	default:
 		// ALOHA ignores every negotiation frame.
+	}
+}
+
+// emitTimeout records an unanswered data transmission (ALOHA has no
+// RTS round; the ack wait is its whole contention).
+func (m *MAC) emitTimeout(slot int64) {
+	if m.cfg.Recorder != nil {
+		if head, ok := m.queue.Peek(); ok {
+			m.emit(obs.Contention{
+				Node: m.cfg.ID, Peer: head.Dst,
+				Outcome: obs.ContentionTimeout, Slot: slot,
+			})
+		}
 	}
 }
 

@@ -119,6 +119,89 @@ func TestMean(t *testing.T) {
 	}
 }
 
+// noNaN fails the test if any derived Summary field is NaN or Inf —
+// the failure mode for degenerate sample sets is silent NaN spread.
+func noNaN(t *testing.T, sum Summary) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"ThroughputKbps": sum.ThroughputKbps,
+		"OfferedKbps":    sum.OfferedKbps,
+		"DeliveryRatio":  sum.DeliveryRatio,
+		"MeanPowerMW":    sum.MeanPowerMW,
+		"Efficiency":     sum.Efficiency,
+		"Fairness":       sum.Fairness,
+		"EnergyJ":        sum.EnergyJ,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v, want finite", name, v)
+		}
+	}
+}
+
+func TestSummarizeAllSinks(t *testing.T) {
+	// A sink-only population generates nothing and delivers nothing:
+	// every rate must come out zero, never NaN.
+	samples := []NodeSample{
+		{IsSink: true, Energy: energy.Breakdown{IdleJ: 2}},
+		{IsSink: true, Energy: energy.Breakdown{IdleJ: 2}},
+	}
+	sum, err := Summarize(samples, time.Minute, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noNaN(t, sum)
+	if sum.DeliveryRatio != 0 || sum.ThroughputKbps != 0 || sum.Fairness != 0 {
+		t.Errorf("sink-only rates should be zero: %+v", sum)
+	}
+	if sum.MeanPowerMW <= 0 {
+		t.Errorf("idle power should still accumulate, got %v", sum.MeanPowerMW)
+	}
+}
+
+func TestSummarizeZeroDelivered(t *testing.T) {
+	// Traffic generated but nothing delivered (e.g. a partitioned
+	// network): DeliveryRatio is a true 0, Efficiency and Fairness must
+	// not divide by the zero delivered count.
+	s := sample(0, 25, 2048, 0)
+	sum, err := Summarize([]NodeSample{s}, time.Minute, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noNaN(t, sum)
+	if sum.DeliveryRatio != 0 {
+		t.Errorf("delivery ratio = %v, want 0", sum.DeliveryRatio)
+	}
+	if sum.ExecutionTime != 0 {
+		t.Errorf("execution time = %v, want 0 with no deliveries", sum.ExecutionTime)
+	}
+	// Zero energy as well: power is 0 and Efficiency must stay 0, not NaN.
+	if sum.MeanPowerMW != 0 || sum.Efficiency != 0 {
+		t.Errorf("zero-energy power/efficiency = %v/%v, want 0/0", sum.MeanPowerMW, sum.Efficiency)
+	}
+}
+
+func TestSummarizeWindowMismatch(t *testing.T) {
+	// The same counters over different windows must scale rates
+	// inversely with the window, and a non-positive window is an error,
+	// not a division.
+	s := sample(10, 10, 1024, 1)
+	short, err := Summarize([]NodeSample{s}, 10*time.Second, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Summarize([]NodeSample{s}, 100*time.Second, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(short.ThroughputKbps-10*long.ThroughputKbps) > 1e-12 {
+		t.Errorf("throughput did not scale with window: %v vs %v",
+			short.ThroughputKbps, long.ThroughputKbps)
+	}
+	if _, err := Summarize([]NodeSample{s}, -time.Second, 1024); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
 func TestJainIndex(t *testing.T) {
 	mk := func(acked, gen uint64, sink bool) NodeSample {
 		return NodeSample{MAC: mac.Counters{AckedPackets: acked, Generated: gen}, IsSink: sink}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// JSONL is the trace-v2 exporter: it renders every event as one JSON
+// object per line under a single schema. Every line carries
+//
+//	"at"    — simulation time in fractional seconds
+//	"event" — the stable Event.Tag()
+//
+// plus the event's own flattened fields (frame fields appear as
+// kind/seq/origin/bits; durations as fractional seconds). The writer
+// is buffered; call Flush (or Close) before reading the output.
+type JSONL struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a trace-v2 exporter writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// Flush drains the write buffer.
+func (j *JSONL) Flush() error {
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// frameRef is the flattened frame portion of trace-v2 lines.
+type frameRef struct {
+	Src    uint16 `json:"src"`
+	Dst    uint16 `json:"dst"`
+	Kind   string `json:"kind"`
+	Seq    uint32 `json:"seq"`
+	Origin uint16 `json:"origin,omitempty"`
+	Bits   int    `json:"bits"`
+}
+
+func flatten(f *packet.Frame) frameRef {
+	return frameRef{
+		Src:    uint16(f.Src),
+		Dst:    uint16(f.Dst),
+		Kind:   f.Kind.String(),
+		Seq:    f.Seq,
+		Origin: uint16(f.Origin),
+		Bits:   f.Bits(),
+	}
+}
+
+// header is the leading portion shared by every trace-v2 line.
+type header struct {
+	At    float64 `json:"at"`
+	Event string  `json:"event"`
+}
+
+// Record implements Recorder.
+func (j *JSONL) Record(at sim.Time, e Event) {
+	if j.err != nil {
+		return
+	}
+	h := header{At: at.Seconds(), Event: e.Tag()}
+	var line any
+	switch ev := e.(type) {
+	case FrameEmit:
+		line = struct {
+			header
+			frameRef
+			DelayS  float64 `json:"delay"`
+			LevelDB float64 `json:"level_db"`
+		}{h, flatten(ev.Frame), ev.Delay.Seconds(), ev.LevelDB}
+	case TxBegin:
+		line = struct {
+			header
+			Node uint16 `json:"node"`
+			frameRef
+			DurS float64 `json:"dur"`
+		}{h, uint16(ev.Node), flatten(ev.Frame), ev.Dur.Seconds()}
+	case FrameRx:
+		line = struct {
+			header
+			Node uint16 `json:"node"`
+			frameRef
+		}{h, uint16(ev.Node), flatten(ev.Frame)}
+	case FrameLoss:
+		line = struct {
+			header
+			Node uint16 `json:"node"`
+			frameRef
+			Reason string `json:"reason"`
+		}{h, uint16(ev.Node), flatten(ev.Frame), ev.Reason}
+	case MACState:
+		line = struct {
+			header
+			Node uint16 `json:"node"`
+			From string `json:"from"`
+			To   string `json:"to"`
+			Slot int64  `json:"slot"`
+		}{h, uint16(ev.Node), ev.From, ev.To, ev.Slot}
+	case Contention:
+		line = struct {
+			header
+			Node    uint16 `json:"node"`
+			Peer    uint16 `json:"peer"`
+			Outcome string `json:"outcome"`
+			Slot    int64  `json:"slot"`
+		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Outcome, ev.Slot}
+	case SlotPeriod:
+		line = struct {
+			header
+			Node   uint16 `json:"node"`
+			Peer   uint16 `json:"peer"`
+			Period string `json:"period"`
+			Slot   int64  `json:"slot"`
+		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Period, ev.Slot}
+	case Delivery:
+		line = struct {
+			header
+			Node     uint16  `json:"node"`
+			Origin   uint16  `json:"origin"`
+			Seq      uint32  `json:"seq"`
+			Bits     int     `json:"bits"`
+			LatencyS float64 `json:"latency"`
+			Extra    bool    `json:"extra,omitempty"`
+		}{h, uint16(ev.Node), uint16(ev.Origin), ev.Seq, ev.Bits, ev.Latency.Seconds(), ev.Extra}
+	case Extra:
+		line = struct {
+			header
+			Node   uint16 `json:"node"`
+			Peer   uint16 `json:"peer"`
+			Action string `json:"action"`
+			Reason string `json:"reason,omitempty"`
+		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Action, ev.Reason}
+	case EngineSample:
+		line = struct {
+			header
+			QueueDepth       int     `json:"queue_depth"`
+			EventsPerSec     float64 `json:"events_per_s"`
+			VirtualWallRatio float64 `json:"virt_wall"`
+		}{h, ev.QueueDepth, ev.EventsPerSec, ev.VirtualWallRatio}
+	default:
+		// Future event types degrade to a tagged envelope rather than
+		// being dropped, so readers can at least count them.
+		line = struct {
+			header
+			Data Event `json:"data"`
+		}{h, e}
+	}
+	if err := j.enc.Encode(line); err != nil && j.err == nil {
+		j.err = err
+	}
+}

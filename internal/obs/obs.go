@@ -1,0 +1,246 @@
+// Package obs is the simulator's unified observability layer: a
+// structured event bus threaded through the channel, PHY, MAC, and
+// experiment layers, plus the consumers built on top of it — a
+// trace-v2 JSONL exporter, a periodic time-series sampler (CSV), and a
+// per-run report collector with a Prometheus-style text snapshot.
+//
+// Events are plain structs dispatched through the nil-checked Recorder
+// interface. Every emission site guards with a nil test before
+// constructing the event, so with observability disabled the hot path
+// pays exactly one predictable branch and zero allocations. Producers
+// never block on consumers: recorders run synchronously on the
+// simulation goroutine and must not re-enter the engine.
+package obs
+
+import (
+	"time"
+
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// Event is one structured observation. Tag returns the stable event
+// name used as the "event" field of the trace-v2 JSONL schema and as
+// the counter key in RunReport; tags are dotted layer.name identifiers
+// and form the compatibility surface of the trace format.
+type Event interface {
+	Tag() string
+}
+
+// Recorder consumes events. Implementations run on the simulation
+// goroutine; Record must not schedule engine events or transmit.
+type Recorder interface {
+	Record(at sim.Time, e Event)
+}
+
+// RecorderFunc adapts a function to the Recorder interface.
+type RecorderFunc func(at sim.Time, e Event)
+
+// Record implements Recorder.
+func (f RecorderFunc) Record(at sim.Time, e Event) { f(at, e) }
+
+// multi fans one event out to several recorders in order.
+type multi []Recorder
+
+// Record implements Recorder.
+func (m multi) Record(at sim.Time, e Event) {
+	for _, r := range m {
+		r.Record(at, e)
+	}
+}
+
+// Multi combines recorders into one, dropping nils. It returns nil
+// when every argument is nil, so the result can be stored directly in
+// a nil-checked recorder field.
+func Multi(recs ...Recorder) Recorder {
+	var live multi
+	for _, r := range recs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+// ---- Channel events ----
+
+// FrameEmit records one scheduled frame delivery at emission time: the
+// channel computed a propagation delay and received level for the
+// (src, dst) pair and scheduled the arrival. It is the trace-v2
+// superset of the legacy channel.TraceFunc observation.
+type FrameEmit struct {
+	Src, Dst packet.NodeID
+	Frame    *packet.Frame
+	Delay    time.Duration
+	LevelDB  float64
+}
+
+// Tag implements Event.
+func (FrameEmit) Tag() string { return "chan.emit" }
+
+// ---- PHY events ----
+
+// TxBegin records the start of a transmission at a modem.
+type TxBegin struct {
+	Node  packet.NodeID
+	Frame *packet.Frame
+	Dur   time.Duration
+}
+
+// Tag implements Event.
+func (TxBegin) Tag() string { return "phy.tx" }
+
+// FrameRx records one successfully decoded frame at a modem (whether
+// or not the node is the destination).
+type FrameRx struct {
+	Node  packet.NodeID
+	Frame *packet.Frame
+}
+
+// Tag implements Event.
+func (FrameRx) Tag() string { return "phy.rx" }
+
+// FrameLoss records a decodable frame that was not delivered, with the
+// PHY's loss classification. ReasonCode carries the raw
+// phy.LossReason value (obs cannot import phy); Reason is its string
+// form, which is what the trace schema exposes.
+type FrameLoss struct {
+	Node       packet.NodeID
+	Frame      *packet.Frame
+	ReasonCode uint8
+	Reason     string
+}
+
+// Tag implements Event.
+func (FrameLoss) Tag() string { return "phy.loss" }
+
+// ---- MAC events ----
+
+// MACState records one primary-handshake role transition at a node.
+// Roles are the mac.Role strings ("idle", "wait-cts", ...).
+type MACState struct {
+	Node     packet.NodeID
+	From, To string
+	Slot     int64
+}
+
+// Tag implements Event.
+func (MACState) Tag() string { return "mac.state" }
+
+// Contention outcomes.
+const (
+	// ContentionRTS: the node transmitted an RTS for Peer.
+	ContentionRTS = "rts"
+	// ContentionWon: the node's RTS was answered with a CTS.
+	ContentionWon = "won"
+	// ContentionLost: the node learned its target negotiated with
+	// someone else (overheard RTS/CTS from the target).
+	ContentionLost = "lost"
+	// ContentionTimeout: no CTS arrived within the deadline.
+	ContentionTimeout = "timeout"
+	// ContentionGrant: the node, as receiver, answered an RTS with a CTS.
+	ContentionGrant = "grant"
+)
+
+// Contention records one step of an RTS contention round.
+type Contention struct {
+	Node    packet.NodeID
+	Peer    packet.NodeID
+	Outcome string
+	Slot    int64
+}
+
+// Tag implements Event.
+func (Contention) Tag() string { return "mac.contention" }
+
+// SlotPeriod records a node entering one of the handshake periods of
+// the paper's Figure 2 timeline, which partitions a four-way exchange
+// into seven waiting/transmission periods:
+//
+//	I   sender sent RTS, waiting for the CTS slot
+//	II  receiver sent CTS, waiting for data
+//	III sender received CTS, waiting for its data slot
+//	IV  data on air
+//	V   sender finished data, waiting for the Ack slot
+//	VI  receiver transmitting the Ack
+//	VII exchange complete (Ack received / post-exchange)
+//
+// Together with the pairwise delay table these records reconstruct the
+// exact slot timeline the extra-communication scheduler reasons about.
+type SlotPeriod struct {
+	Node   packet.NodeID
+	Peer   packet.NodeID
+	Period string // "I".."VII"
+	Slot   int64
+}
+
+// Tag implements Event.
+func (SlotPeriod) Tag() string { return "mac.period" }
+
+// Delivery records one unique data payload accepted at its destination
+// (the same instant mac.Counters.DeliveredPackets increments).
+type Delivery struct {
+	Node    packet.NodeID
+	Origin  packet.NodeID
+	Seq     uint32
+	Bits    int
+	Latency time.Duration
+	Extra   bool
+}
+
+// Tag implements Event.
+func (Delivery) Tag() string { return "mac.deliver" }
+
+// Extra-communication actions.
+const (
+	// ExtraRequest: an opportunistic request/steal went on air
+	// (EXR, RTA, or StolenData).
+	ExtraRequest = "request"
+	// ExtraGrant: the negotiated node granted the request (EXC sent).
+	ExtraGrant = "grant"
+	// ExtraDeny: the opportunistic path was rejected; Reason says why.
+	ExtraDeny = "deny"
+	// ExtraAbort: an in-flight attempt was abandoned; Reason says why.
+	ExtraAbort = "abort"
+	// ExtraComplete: the extra exchange was acknowledged end to end.
+	ExtraComplete = "complete"
+)
+
+// Extra records one step of an extra-communication exchange (EW-MAC
+// EXR/EXC, ROPA appending, CS-MAC stealing). Reason is set on deny and
+// abort actions and names the admission rule that fired — the signal
+// for diagnosing a starved extra-communication path.
+type Extra struct {
+	Node   packet.NodeID
+	Peer   packet.NodeID
+	Action string
+	Reason string
+}
+
+// Tag implements Event.
+func (Extra) Tag() string { return "mac.extra" }
+
+// ---- Engine events ----
+
+// EngineSample is a periodic event-loop health sample, emitted by the
+// time-series sampler rather than by the engine itself (the engine's
+// hot loop stays observer-free; its counters are polled).
+type EngineSample struct {
+	QueueDepth int
+	// EventsPerSec is the executed-event rate over the last sample
+	// interval, per simulated second.
+	EventsPerSec float64
+	// VirtualWallRatio is simulated seconds per wall second over the
+	// last sample interval (higher is faster).
+	VirtualWallRatio float64
+}
+
+// Tag implements Event.
+func (EngineSample) Tag() string { return "engine.sample" }

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ewmac/internal/sim"
+)
+
+// Collector is a Recorder that aggregates events into counters for the
+// per-run report. It holds no references to frames, so collecting is
+// cheap enough to leave on for every trial of a sweep.
+type Collector struct {
+	events     map[string]uint64
+	losses     map[string]uint64
+	contention map[string]uint64
+	extras     map[string]uint64
+	deny       map[string]uint64
+
+	delivered      uint64
+	deliveredBits  uint64
+	extraDelivered uint64
+	lastAt         sim.Time
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		events:     make(map[string]uint64),
+		losses:     make(map[string]uint64),
+		contention: make(map[string]uint64),
+		extras:     make(map[string]uint64),
+		deny:       make(map[string]uint64),
+	}
+}
+
+// Record implements Recorder.
+func (c *Collector) Record(at sim.Time, e Event) {
+	c.events[e.Tag()]++
+	if at > c.lastAt {
+		c.lastAt = at
+	}
+	switch ev := e.(type) {
+	case FrameLoss:
+		c.losses[ev.Reason]++
+	case Contention:
+		c.contention[ev.Outcome]++
+	case Extra:
+		c.extras[ev.Action]++
+		if ev.Reason != "" {
+			c.deny[ev.Action+"/"+ev.Reason]++
+		}
+	case Delivery:
+		c.delivered++
+		c.deliveredBits += uint64(ev.Bits)
+		if ev.Extra {
+			c.extraDelivered++
+		}
+	}
+}
+
+// RunReport is the per-run observability summary: raw event counts
+// plus the derived rates that make a trial's behaviour checkable at a
+// glance. It is what internal/experiment attaches to a Result when
+// report collection is enabled.
+type RunReport struct {
+	// Protocol / Seed / Nodes identify the trial.
+	Protocol string `json:"protocol"`
+	Seed     int64  `json:"seed"`
+	Nodes    int    `json:"nodes"`
+	// DurationS is the measurement window in seconds.
+	DurationS float64 `json:"duration_s"`
+
+	// Events counts every recorded event by tag.
+	Events map[string]uint64 `json:"events"`
+	// Losses breaks phy.loss down by reason.
+	Losses map[string]uint64 `json:"losses,omitempty"`
+	// Contention breaks mac.contention down by outcome.
+	Contention map[string]uint64 `json:"contention,omitempty"`
+	// Extras breaks mac.extra down by action; DenyReasons refines the
+	// deny/abort actions by the admission rule that fired.
+	Extras      map[string]uint64 `json:"extras,omitempty"`
+	DenyReasons map[string]uint64 `json:"deny_reasons,omitempty"`
+
+	// DeliveredPackets / DeliveredBits count unique payload deliveries
+	// (they match mac.Counters exactly; see the experiment tests).
+	DeliveredPackets uint64 `json:"delivered_packets"`
+	DeliveredBits    uint64 `json:"delivered_bits"`
+	ExtraDelivered   uint64 `json:"extra_delivered"`
+
+	// Derived rates.
+	ThroughputKbps   float64 `json:"throughput_kbps"`
+	DeliveriesPerSec float64 `json:"deliveries_per_s"`
+	// ExtraSuccessRate is completes/requests over the whole run.
+	ExtraSuccessRate float64 `json:"extra_success_rate"`
+	// ContentionWinRate is won/(won+timeout) RTS rounds.
+	ContentionWinRate float64 `json:"contention_win_rate"`
+
+	// Engine statistics for the run.
+	EngineEvents     uint64  `json:"engine_events"`
+	EngineEventsPerS float64 `json:"engine_events_per_wall_s"`
+	VirtualWallRatio float64 `json:"virtual_wall_ratio"`
+}
+
+// Report reduces the collected counters to a RunReport. durationS is
+// the measurement window; the caller fills the identity and engine
+// fields it knows.
+func (c *Collector) Report(durationS float64) *RunReport {
+	r := &RunReport{
+		DurationS:        durationS,
+		Events:           copyMap(c.events),
+		Losses:           copyMap(c.losses),
+		Contention:       copyMap(c.contention),
+		Extras:           copyMap(c.extras),
+		DenyReasons:      copyMap(c.deny),
+		DeliveredPackets: c.delivered,
+		DeliveredBits:    c.deliveredBits,
+		ExtraDelivered:   c.extraDelivered,
+	}
+	if durationS > 0 {
+		r.ThroughputKbps = float64(c.deliveredBits) / durationS / 1000
+		r.DeliveriesPerSec = float64(c.delivered) / durationS
+	}
+	if req := c.extras[ExtraRequest]; req > 0 {
+		r.ExtraSuccessRate = float64(c.extras[ExtraComplete]) / float64(req)
+	}
+	if rounds := c.contention[ContentionWon] + c.contention[ContentionTimeout]; rounds > 0 {
+		r.ContentionWinRate = float64(c.contention[ContentionWon]) / float64(rounds)
+	}
+	return r
+}
+
+func copyMap(m map[string]uint64) map[string]uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteProm renders the report as a Prometheus-style text snapshot
+// (counter and gauge families with a uasn_ prefix, labelled by
+// protocol). Keys within a family are emitted in sorted order so the
+// snapshot is diffable across runs.
+func (r *RunReport) WriteProm(w io.Writer) error {
+	var b strings.Builder
+	label := func(extra string) string {
+		if extra == "" {
+			return fmt.Sprintf(`{protocol=%q}`, r.Protocol)
+		}
+		return fmt.Sprintf(`{protocol=%q,%s}`, r.Protocol, extra)
+	}
+	family := func(name, help, typ string, m map[string]uint64, lbl string) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s%s %d\n", name, label(fmt.Sprintf("%s=%q", lbl, k)), m[k])
+		}
+	}
+	scalar := func(name, help, typ string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s%s %g\n",
+			name, help, name, typ, name, label(""), v)
+	}
+
+	family("uasn_events_total", "Recorded events by tag.", "counter", r.Events, "event")
+	family("uasn_losses_total", "PHY losses by reason.", "counter", r.Losses, "reason")
+	family("uasn_contention_total", "Contention steps by outcome.", "counter", r.Contention, "outcome")
+	family("uasn_extra_total", "Extra-communication steps by action.", "counter", r.Extras, "action")
+	family("uasn_extra_denied_total", "Extra denials/aborts by reason.", "counter", r.DenyReasons, "reason")
+	scalar("uasn_delivered_packets", "Unique data payloads delivered.", "counter", float64(r.DeliveredPackets))
+	scalar("uasn_delivered_bits", "Unique payload bits delivered.", "counter", float64(r.DeliveredBits))
+	scalar("uasn_throughput_kbps", "Delivered payload rate over the window.", "gauge", r.ThroughputKbps)
+	scalar("uasn_extra_success_rate", "Extra completes per request.", "gauge", r.ExtraSuccessRate)
+	scalar("uasn_contention_win_rate", "Won RTS rounds per decided round.", "gauge", r.ContentionWinRate)
+	scalar("uasn_engine_events", "Discrete events executed.", "counter", float64(r.EngineEvents))
+	scalar("uasn_engine_events_per_wall_second", "Engine speed.", "gauge", r.EngineEventsPerS)
+	scalar("uasn_virtual_wall_ratio", "Simulated seconds per wall second.", "gauge", r.VirtualWallRatio)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

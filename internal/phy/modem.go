@@ -13,6 +13,7 @@ import (
 
 	"ewmac/internal/acoustic"
 	"ewmac/internal/energy"
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/sim"
 )
@@ -124,6 +125,8 @@ type Modem struct {
 	// but never influence protocol behaviour.
 	rxTap   func(f *packet.Frame)
 	lossTap func(f *packet.Frame, reason LossReason)
+	// rec is the structured event sink (nil when observability is off).
+	rec obs.Recorder
 }
 
 // Config assembles a modem.
@@ -184,6 +187,10 @@ func (m *Modem) SetRxTap(tap func(f *packet.Frame)) { m.rxTap = tap }
 // verification oracles; nil disables).
 func (m *Modem) SetLossTap(tap func(f *packet.Frame, reason LossReason)) { m.lossTap = tap }
 
+// SetRecorder installs the observability event sink (nil to disable).
+// The modem records obs.TxBegin, obs.FrameRx, and obs.FrameLoss.
+func (m *Modem) SetRecorder(r obs.Recorder) { m.rec = r }
+
 // Stats returns a copy of the activity counters.
 func (m *Modem) Stats() Stats { return m.stats }
 
@@ -228,6 +235,9 @@ func (m *Modem) Transmit(f *packet.Frame) error {
 	}
 	m.accountTx(f)
 	m.updateEnergyState()
+	if m.rec != nil {
+		m.rec.Record(m.eng.Now(), obs.TxBegin{Node: m.id, Frame: f, Dur: dur})
+	}
 	m.medium.Broadcast(m.id, f, dur)
 	m.eng.ScheduleIn(dur, sim.PriorityPHY, func() { m.finishTx(f) })
 	return nil
@@ -330,6 +340,9 @@ func (m *Modem) endArrival(a *arrival) {
 	}
 	m.stats.FramesRx++
 	m.stats.BitsRx += uint64(a.frame.Bits())
+	if m.rec != nil {
+		m.rec.Record(m.eng.Now(), obs.FrameRx{Node: m.id, Frame: a.frame})
+	}
 	if m.rxTap != nil {
 		m.rxTap(a.frame)
 	}
@@ -339,6 +352,11 @@ func (m *Modem) endArrival(a *arrival) {
 }
 
 func (m *Modem) notifyLost(f *packet.Frame, r LossReason) {
+	if m.rec != nil {
+		m.rec.Record(m.eng.Now(), obs.FrameLoss{
+			Node: m.id, Frame: f, ReasonCode: uint8(r), Reason: r.String(),
+		})
+	}
 	if m.lossTap != nil {
 		m.lossTap(f, r)
 	}

@@ -108,6 +108,36 @@ type Engine struct {
 	seed     int64
 	streams  map[string]*RNG
 	horizon  Time // 0 means unbounded
+	// wallAccum / runStart track wall-clock time spent inside Run for
+	// LoopStats. They are touched only at Run entry/exit, never in the
+	// per-event loop, so instrumentation costs the hot path nothing.
+	wallAccum time.Duration
+	runStart  time.Time
+	inRun     bool
+}
+
+// LoopStats is a snapshot of event-loop health, polled by the
+// observability sampler (the engine itself never pushes events).
+type LoopStats struct {
+	// Now is the current simulation time.
+	Now Time
+	// Executed counts events run since engine construction.
+	Executed uint64
+	// Pending is the current event-queue depth (including cancelled
+	// events not yet discarded).
+	Pending int
+	// Wall is cumulative wall-clock time spent inside Run.
+	Wall time.Duration
+}
+
+// LoopStats returns the current event-loop snapshot. It is safe to
+// call from inside a running event (the usual case: a sampler event).
+func (e *Engine) LoopStats() LoopStats {
+	wall := e.wallAccum
+	if e.inRun {
+		wall += time.Since(e.runStart)
+	}
+	return LoopStats{Now: e.now, Executed: e.executed, Pending: len(e.events), Wall: wall}
 }
 
 // NewEngine returns an engine whose RNG streams all derive from seed.
@@ -181,6 +211,16 @@ func (e *Engine) SetHorizon(t Time) { e.horizon = t }
 // during this call.
 func (e *Engine) Run() uint64 {
 	e.stopped = false
+	if !e.inRun {
+		// Runs can nest only via buggy reentrancy; guard anyway so the
+		// wall-clock accounting never double-counts.
+		e.inRun = true
+		e.runStart = time.Now()
+		defer func() {
+			e.wallAccum += time.Since(e.runStart)
+			e.inRun = false
+		}()
+	}
 	var n uint64
 	for len(e.events) > 0 && !e.stopped {
 		ev, ok := heap.Pop(&e.events).(*event)

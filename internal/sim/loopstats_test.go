@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoopStats(t *testing.T) {
+	e := NewEngine(1)
+	if s := e.LoopStats(); s.Executed != 0 || s.Pending != 0 || s.Wall != 0 {
+		t.Fatalf("fresh engine stats not zero: %+v", s)
+	}
+	for i := 0; i < 5; i++ {
+		e.ScheduleIn(time.Duration(i)*time.Second, PriorityMAC, func() {})
+	}
+	if s := e.LoopStats(); s.Pending != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending)
+	}
+	// Sample from inside a running event: wall time must already be
+	// accumulating and executed must reflect completed events.
+	var mid LoopStats
+	e.ScheduleIn(2500*time.Millisecond, PriorityObserver, func() { mid = e.LoopStats() })
+	e.Run()
+	// Events at 0s, 1s, 2s ran before 2.5s, plus the sampling event
+	// itself (counted before its callback runs).
+	if mid.Executed != 4 {
+		t.Errorf("mid-run executed = %d, want 4", mid.Executed)
+	}
+	if mid.Now != At(2500*time.Millisecond) {
+		t.Errorf("mid-run now = %v", mid.Now)
+	}
+	s := e.LoopStats()
+	if s.Executed != 6 || s.Pending != 0 {
+		t.Errorf("final stats: %+v", s)
+	}
+	if s.Wall <= 0 || s.Wall < mid.Wall {
+		t.Errorf("wall time not accumulated: mid=%v final=%v", mid.Wall, s.Wall)
+	}
+	if s.Now != At(4*time.Second) {
+		t.Errorf("final now = %v", s.Now)
+	}
+}
