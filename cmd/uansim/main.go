@@ -7,6 +7,7 @@
 //	uansim -proto ewmac -timeseries ts.csv   # periodic health samples
 //	uansim -proto ewmac -report run.json     # per-run report (JSON)
 //	uansim -proto ewmac -report run.prom     # same, Prometheus text
+//	uansim -proto ewmac -faults chaos.json   # fault-injection scenario
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"ewmac"
 	"ewmac/internal/experiment"
+	"ewmac/internal/fault"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func run() int {
 		seed    = flag.Int64("seed", 1, "random seed")
 		verbose = flag.Bool("v", false, "print extended counters")
 
+		faults     = flag.String("faults", "", "fault-injection scenario JSON file (see examples/faults/)")
 		trace      = flag.String("trace", "", "write the trace-v2 JSONL event stream to this file (single protocol only)")
 		timeseries = flag.String("timeseries", "", "write periodic CSV health samples to this file (single protocol only)")
 		report     = flag.String("report", "", "write a run report to this file: .json for JSON, otherwise Prometheus text (single protocol only)")
@@ -54,6 +57,15 @@ func run() int {
 		protos = ewmac.Protocols
 	} else {
 		protos = []ewmac.Protocol{ewmac.Protocol(*proto)}
+	}
+
+	var scenario *fault.Scenario
+	if *faults != "" {
+		var err error
+		if scenario, err = fault.Load(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 1
+		}
 	}
 
 	// Observability outputs are one file per run; with several
@@ -100,6 +112,7 @@ func run() int {
 		cfg.MobileFraction = *mobile
 		cfg.SimTime = *simTime
 		cfg.Seed = *seed
+		cfg.Faults = scenario
 
 		obsCfg, closeObs, err := observeFor(*trace, *timeseries, *report, *sample)
 		if err != nil {
@@ -133,6 +146,10 @@ func run() int {
 				s.MAC.AckedPackets, s.MAC.RTSSent, s.MAC.CTSSent, s.MAC.Retransmissions)
 			fmt.Printf("  extra: attempts=%d grants=%d completions=%d\n",
 				s.MAC.ExtraAttempts, s.MAC.ExtraGrants, s.MAC.ExtraCompletions)
+			if scenario != nil {
+				fmt.Printf("  robustness: dropped=%d probes=%d impossible-rx=%d\n",
+					s.MAC.Dropped, s.MAC.Probes, s.MAC.ImpossibleRx)
+			}
 			fmt.Printf("  topology: mean degree=%.1f max pair delay=%v\n",
 				res.MeanDegree, res.MaxPairDelay.Truncate(time.Millisecond))
 			fmt.Printf("  fairness (Jain): %.3f\n", s.Fairness)

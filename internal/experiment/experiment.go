@@ -15,6 +15,7 @@ import (
 	"ewmac/internal/acoustic"
 	"ewmac/internal/channel"
 	"ewmac/internal/energy"
+	"ewmac/internal/fault"
 	"ewmac/internal/mac"
 	"ewmac/internal/mac/csmac"
 	"ewmac/internal/mac/ewmac"
@@ -111,6 +112,12 @@ type Config struct {
 	EW   ewmac.Options
 	Ropa ropa.Options
 	CS   csmac.Options
+	// Faults enables deterministic fault injection (node churn, clock
+	// drift, delay shifts, outages, interference); nil runs the
+	// fault-free baseline bit-identically. When faults are active the
+	// MACs are hardened automatically: probing is enabled and EW-MAC
+	// gets a stale-delay-table bound unless one was set explicitly.
+	Faults *fault.Scenario
 	// Observe configures the unified observability layer (structured
 	// event tracing, time-series sampling, run reports); nil disables.
 	Observe *Observe
@@ -173,6 +180,9 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("experiment: unknown protocol %q", c.Protocol)
 	}
+	if c.Faults != nil {
+		return c.Faults.Validate()
+	}
 	return nil
 }
 
@@ -229,6 +239,17 @@ func Run(cfg Config) (*Result, error) {
 		TauMax: model.MaxDelay(),
 	}
 
+	var inj *fault.Injector
+	if cfg.Faults.Active() {
+		inj = fault.NewInjector(eng, cfg.Faults, net, ro.rec)
+		if cfg.EW.StaleAfter == 0 {
+			// Under faults, delay-table entries go bad between Hello
+			// refreshes; bound their trusted lifetime so EW-MAC falls
+			// back to denying extra grants instead of acting on them.
+			cfg.EW.StaleAfter = 30 * time.Second
+		}
+	}
+
 	modems := make([]*phy.Modem, 0, net.Len())
 	protos := make([]mac.Protocol, 0, net.Len())
 	for _, n := range net.Nodes() {
@@ -249,7 +270,7 @@ func Run(cfg Config) (*Result, error) {
 		if ro.rec != nil {
 			modem.SetRecorder(ro.rec)
 		}
-		proto, err := buildProtocol(cfg, mac.Config{
+		mcfg := mac.Config{
 			ID:          n.ID,
 			Engine:      eng,
 			Modem:       modem,
@@ -262,16 +283,31 @@ func Run(cfg Config) (*Result, error) {
 			EnableHello: true,
 			HelloWindow: cfg.Warmup,
 			Recorder:    ro.rec,
-		})
+		}
+		if inj != nil {
+			mcfg.EnableProbe = true
+			if c := inj.ClockFor(n.ID); c != nil {
+				mcfg.Clock = c
+			}
+		}
+		proto, err := buildProtocol(cfg, mcfg)
 		if err != nil {
 			return nil, err
 		}
 		modem.SetListener(proto)
+		if inj != nil {
+			inj.Register(n.ID, modem, proto)
+		}
 		modems = append(modems, modem)
 		protos = append(protos, proto)
 	}
 	for _, p := range protos {
 		p.Start()
+	}
+	if inj != nil {
+		// Faults begin after warmup so the Hello phase establishes the
+		// baseline delay tables the injectors then degrade.
+		inj.Start(sim.At(cfg.Warmup), sim.At(cfg.SimTime))
 	}
 
 	// Traffic.

@@ -1,0 +1,236 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ewmac/internal/acoustic"
+	"ewmac/internal/energy"
+	"ewmac/internal/obs"
+	"ewmac/internal/packet"
+	"ewmac/internal/phy"
+	"ewmac/internal/sim"
+	"ewmac/internal/topology"
+	"ewmac/internal/vec"
+)
+
+type nullMedium struct{}
+
+func (nullMedium) Broadcast(packet.NodeID, *packet.Frame, time.Duration) {}
+
+type fakeProto struct{ restarts int }
+
+func (p *fakeProto) Restart() { p.restarts++ }
+
+// rig is a minimal deployed network under injection: 3 sensors + 1 sink.
+type rig struct {
+	eng    *sim.Engine
+	net    *topology.Network
+	inj    *Injector
+	modems map[packet.NodeID]*phy.Modem
+	protos map[packet.NodeID]*fakeProto
+	log    []string
+}
+
+func newRig(t *testing.T, seed int64, sc *Scenario) *rig {
+	t.Helper()
+	model := acoustic.DefaultModel()
+	nodes := []*topology.Node{
+		{ID: 1, Pos: vec.V3{X: -400, Y: -400, Z: 100}, Mobility: topology.MobilityStatic},
+		{ID: 2, Pos: vec.V3{X: 0, Y: 0, Z: 500}, Mobility: topology.MobilityStatic},
+		{ID: 3, Pos: vec.V3{X: 400, Y: 400, Z: 900}, Mobility: topology.MobilityStatic},
+		{ID: 4, Pos: vec.V3{X: 0, Y: 0, Z: 0}, Sink: true, Mobility: topology.MobilityStatic},
+	}
+	net, err := topology.NewNetwork(vec.Cube(1000), model, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		eng:    sim.NewEngine(seed),
+		net:    net,
+		modems: make(map[packet.NodeID]*phy.Modem),
+		protos: make(map[packet.NodeID]*fakeProto),
+	}
+	rec := obs.RecorderFunc(func(at sim.Time, e obs.Event) {
+		if f, ok := e.(obs.Fault); ok {
+			r.log = append(r.log, fmt.Sprintf("%v n%d %s/%s", at, f.Node, f.Kind, f.Action))
+		}
+	})
+	r.inj = NewInjector(r.eng, sc, net, rec)
+	for _, n := range nodes {
+		m, err := phy.NewModem(phy.Config{
+			ID: n.ID, Engine: r.eng, Model: model,
+			Medium: nullMedium{}, Energy: energy.DefaultProfile(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &fakeProto{}
+		r.inj.Register(n.ID, m, p)
+		r.modems[n.ID] = m
+		r.protos[n.ID] = p
+	}
+	return r
+}
+
+func (r *rig) run(until time.Duration) {
+	r.inj.Start(sim.At(0), sim.At(until))
+	r.eng.RunUntil(sim.At(until))
+}
+
+func TestChurnCrashesAndRestarts(t *testing.T) {
+	sc := &Scenario{Churn: &ChurnSpec{
+		MeanUp: Dur(10 * time.Second), MeanDown: Dur(3 * time.Second), Fraction: 1,
+	}}
+	r := newRig(t, 1, sc)
+	r.run(120 * time.Second)
+
+	crashes, recoveries := 0, 0
+	for _, l := range r.log {
+		if l[len(l)-len("inject"):] == "inject" {
+			crashes++
+		} else {
+			recoveries++
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no crashes in 120s with 10s mean uptime")
+	}
+	if recoveries > crashes || crashes > recoveries+3 {
+		t.Errorf("crashes=%d recoveries=%d inconsistent", crashes, recoveries)
+	}
+	total := 0
+	for id, p := range r.protos {
+		if id == 4 && p.restarts > 0 {
+			t.Error("sink was churned")
+		}
+		total += p.restarts
+	}
+	if total != recoveries {
+		t.Errorf("restarts=%d, want one per recovery (%d)", total, recoveries)
+	}
+	if r.protos[4].restarts != 0 || r.modems[4].Down() {
+		t.Error("sink affected by churn")
+	}
+}
+
+func TestDriftClocksAssignedAndSynced(t *testing.T) {
+	sc := &Scenario{Drift: &DriftSpec{
+		SkewPPM: 100, MaxOffset: Dur(20 * time.Millisecond),
+		SyncEvery: Dur(30 * time.Second), Fraction: 1,
+	}}
+	r := newRig(t, 2, sc)
+	if r.inj.ClockFor(4) != nil {
+		t.Error("sink got a drifting clock")
+	}
+	withErr := 0
+	for _, id := range []packet.NodeID{1, 2, 3} {
+		c := r.inj.ClockFor(id)
+		if c == nil {
+			t.Fatalf("node %d missing clock at fraction 1", id)
+		}
+		if c.Err(sim.At(0)) != 0 || c.Err(sim.At(time.Minute)) != 0 {
+			withErr++
+		}
+	}
+	if withErr == 0 {
+		t.Error("no clock has any error despite skew and offset bounds")
+	}
+	r.run(100 * time.Second)
+	// After the last sync epoch (t=90s) error is bounded by 10s of skew:
+	// 100 ppm * 10s = 1ms, plus rounding.
+	for _, id := range []packet.NodeID{1, 2, 3} {
+		if err := r.inj.ClockFor(id).Err(sim.At(100 * time.Second)); err > 2*time.Millisecond || err < -2*time.Millisecond {
+			t.Errorf("node %d clock error %v after discipline", id, err)
+		}
+	}
+}
+
+func TestDelayShiftMovesNodesInsideRegion(t *testing.T) {
+	sc := &Scenario{DelayShift: &DelayShiftSpec{
+		MeanEvery: Dur(10 * time.Second), MaxJumpM: 200, Fraction: 1,
+	}}
+	r := newRig(t, 3, sc)
+	before := make(map[packet.NodeID]vec.V3)
+	for _, n := range r.net.Nodes() {
+		before[n.ID] = n.Pos
+	}
+	r.run(120 * time.Second)
+	moved := 0
+	for _, n := range r.net.Nodes() {
+		if n.Pos != before[n.ID] {
+			if n.Sink {
+				t.Error("sink teleported")
+			}
+			moved++
+		}
+		if !r.net.Region.Contains(n.Pos) {
+			t.Errorf("node %d shifted outside the region: %v", n.ID, n.Pos)
+		}
+	}
+	if moved == 0 {
+		t.Error("no node moved in 120s with 10s mean shift interval")
+	}
+}
+
+func TestOutageSilencesTransiently(t *testing.T) {
+	sc := &Scenario{Outage: &OutageSpec{
+		MeanEvery: Dur(10 * time.Second), MeanDur: Dur(2 * time.Second), Fraction: 1,
+	}}
+	r := newRig(t, 4, sc)
+	r.run(200 * time.Second)
+	if len(r.log) == 0 {
+		t.Fatal("no outage events")
+	}
+	for _, p := range r.protos {
+		if p.restarts != 0 {
+			t.Error("outage cold-started a protocol (only churn should)")
+		}
+	}
+}
+
+func TestDownReasonsCompose(t *testing.T) {
+	r := newRig(t, 5, &Scenario{})
+	m := r.inj.byID[1]
+	m.setDown(downChurn)
+	m.setDown(downOutage)
+	if !r.modems[1].Down() {
+		t.Fatal("modem up despite two down reasons")
+	}
+	m.clearDown(downOutage)
+	if !r.modems[1].Down() {
+		t.Error("modem revived while still crashed")
+	}
+	m.clearDown(downChurn)
+	if r.modems[1].Down() {
+		t.Error("modem still down with no reasons left")
+	}
+}
+
+func TestInjectionDeterministicPerSeed(t *testing.T) {
+	sc := &Scenario{
+		Churn: &ChurnSpec{MeanUp: Dur(15 * time.Second), MeanDown: Dur(5 * time.Second), Fraction: 0.7},
+		Drift: &DriftSpec{SkewPPM: 50, SyncEvery: Dur(20 * time.Second),
+			LossMeanEvery: Dur(30 * time.Second), LossMeanDur: Dur(10 * time.Second), Fraction: 0.7},
+		Outage:       &OutageSpec{MeanEvery: Dur(25 * time.Second), MeanDur: Dur(3 * time.Second), Fraction: 0.7},
+		DelayShift:   &DelayShiftSpec{MeanEvery: Dur(30 * time.Second), MaxJumpM: 100, Fraction: 0.7},
+		Interference: &InterferenceSpec{MeanEvery: Dur(20 * time.Second), MeanDur: Dur(2 * time.Second), LevelDB: 60, RadiusM: 600},
+	}
+	run := func(seed int64) []string {
+		r := newRig(t, seed, sc)
+		r.run(180 * time.Second)
+		return r.log
+	}
+	a, b := run(11), run(11)
+	if len(a) == 0 {
+		t.Fatal("no fault events in a fully enabled scenario")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("same seed produced different fault timelines")
+	}
+	c := run(12)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("different seeds produced identical fault timelines")
+	}
+}

@@ -74,6 +74,10 @@ type Hooks interface {
 	// OnExtraFrame handles extra-communication frames addressed to
 	// this node (EXR, EXC, EXData, EXAck, RTA, StolenData).
 	OnExtraFrame(f *packet.Frame)
+	// OnRestart fires when the node cold-starts after a crash/recovery
+	// cycle: protocol-private exchange state must be dropped, since the
+	// node has forgotten every negotiation it was party to.
+	OnRestart()
 }
 
 // Config assembles a Base.
@@ -112,6 +116,16 @@ type Config struct {
 	// disables all MAC-level event emission at the cost of one branch
 	// per emission site.
 	Recorder obs.Recorder
+	// Clock is the node's local oscillator; nil means a perfect clock
+	// (local time == simulation time). A drifting clock shifts this
+	// node's slot boundaries and frame timestamps.
+	Clock Clock
+	// EnableProbe lets the node send unicast Hello probes to refresh
+	// individual delay-table entries on demand (stale-table recovery),
+	// and answer probes addressed to it.
+	EnableProbe bool
+	// ProbeMinGap rate-limits probes per peer (default 10 s).
+	ProbeMinGap time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -129,6 +143,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.HelloWindow <= 0 {
 		c.HelloWindow = 10 * time.Second
+	}
+	if c.ProbeMinGap <= 0 {
+		c.ProbeMinGap = 10 * time.Second
 	}
 }
 
@@ -185,6 +202,8 @@ type Base struct {
 	holdUntil sim.Time
 	// seen dedupes retransmitted payloads: origin<<32|seq.
 	seen map[uint64]struct{}
+	// lastProbe rate-limits unicast delay probes per peer.
+	lastProbe map[packet.NodeID]sim.Time
 
 	counters Counters
 	started  bool
@@ -199,15 +218,16 @@ func NewBase(cfg Config) (*Base, error) {
 	}
 	cfg.applyDefaults()
 	return &Base{
-		cfg:      cfg,
-		rng:      cfg.Engine.RNG(fmt.Sprintf("mac/%d", cfg.ID)),
-		table:    NewNeighborTable(cfg.TableTTL),
-		ledger:   NewLedger(cfg.Slots),
-		queue:    Queue{MaxLen: cfg.QueueMax},
-		role:     RoleIdle,
-		rtsCands: make(map[int64][]*packet.Frame),
-		seen:     make(map[uint64]struct{}),
-		cw:       cfg.CWMin,
+		cfg:       cfg,
+		rng:       cfg.Engine.RNG(fmt.Sprintf("mac/%d", cfg.ID)),
+		table:     NewNeighborTable(cfg.TableTTL),
+		ledger:    NewLedger(cfg.Slots),
+		queue:     Queue{MaxLen: cfg.QueueMax},
+		role:      RoleIdle,
+		rtsCands:  make(map[int64][]*packet.Frame),
+		seen:      make(map[uint64]struct{}),
+		lastProbe: make(map[packet.NodeID]sim.Time),
+		cw:        cfg.CWMin,
 	}, nil
 }
 
@@ -328,7 +348,18 @@ func (b *Base) Start() {
 func (b *Base) scheduleNextSlot() {
 	slot := b.nextSlot
 	b.nextSlot++
-	b.cfg.Engine.MustScheduleAt(b.cfg.Slots.StartOf(slot), sim.PriorityMAC, func() {
+	at := b.cfg.Slots.StartOf(slot)
+	if b.cfg.Clock != nil {
+		// The node fires the boundary where its *local* clock claims
+		// slot start is; drift shifts it relative to the true grid. A
+		// clock corrected backwards can map the boundary into the past —
+		// the node is simply late, not entitled to time travel.
+		at = b.cfg.Clock.TrueTime(at.Duration())
+		if now := b.cfg.Engine.Now(); at.Before(now) {
+			at = now
+		}
+	}
+	b.cfg.Engine.MustScheduleAt(at, sim.PriorityMAC, func() {
 		b.onSlotStart(slot)
 		b.scheduleNextSlot()
 	})
@@ -338,6 +369,70 @@ func (b *Base) sendHello() {
 	f := b.NewFrame(packet.KindHello, packet.Broadcast)
 	if err := b.SendNow(f); err == nil {
 		b.counters.MaintenanceBits += uint64(f.Bits())
+	}
+}
+
+// Probe sends a unicast Hello to peer to refresh its delay-table entry
+// (the peer answers with a unicast NbrUpdate, whose timestamp gives
+// this node a fresh measurement). Probes are rate-limited per peer by
+// ProbeMinGap and reported in Counters.Probes. Returns whether a probe
+// went on air.
+func (b *Base) Probe(peer packet.NodeID) bool {
+	if !b.cfg.EnableProbe || peer == packet.Nobody || peer == packet.Broadcast {
+		return false
+	}
+	now := b.cfg.Engine.Now()
+	if last, ok := b.lastProbe[peer]; ok && now.Sub(last) < b.cfg.ProbeMinGap {
+		return false
+	}
+	if b.cfg.Modem.Transmitting() {
+		return false
+	}
+	f := b.NewFrame(packet.KindHello, peer)
+	if err := b.SendNow(f); err != nil {
+		return false
+	}
+	b.lastProbe[peer] = now
+	b.counters.Probes++
+	b.counters.MaintenanceBits += uint64(f.Bits())
+	return true
+}
+
+// replyProbe answers a unicast Hello probe with a unicast NbrUpdate.
+// The reply kind is deliberately not another Hello so probes can never
+// ping-pong. A busy transducer silently drops the reply; the prober's
+// rate limiter will retry later.
+func (b *Base) replyProbe(peer packet.NodeID) {
+	f := b.NewFrame(packet.KindNbrUpdate, peer)
+	if err := b.SendNow(f); err == nil {
+		b.counters.MaintenanceBits += uint64(f.Bits())
+	}
+}
+
+// Restart cold-starts the node after a crash/recovery cycle: every
+// piece of soft state a real node keeps in RAM — handshake role,
+// backoff, learned delay table, overheard-negotiation ledger, pending
+// RTS candidates, holds — is dropped, and the protocol hook clears its
+// own exchange state. The transmit queue, delivered-payload dedupe set,
+// and counters survive: they model the application buffer and the
+// metrics plane, not the MAC's volatile state.
+func (b *Base) Restart() {
+	b.setRole(RoleIdle)
+	b.hasCur = false
+	b.curAttempts = 0
+	b.backoffLeft = 0
+	b.cw = b.cfg.CWMin
+	b.rtsCands = make(map[int64][]*packet.Frame)
+	b.rxSender = packet.Nobody
+	b.rxDataFrame = nil
+	b.rxGotData = false
+	b.holdUntil = 0
+	b.table.Clear()
+	b.ledger.Clear()
+	b.lastProbe = make(map[packet.NodeID]sim.Time)
+	b.headSince = b.cfg.Slots.SlotAt(b.cfg.Engine.Now())
+	if b.hooks != nil {
+		b.hooks.OnRestart()
 	}
 }
 
@@ -353,17 +448,32 @@ func (b *Base) SendNow(f *packet.Frame) error {
 	if f.Kind.IsControl() && b.hooks != nil {
 		b.hooks.Piggyback(f)
 	}
-	f.Timestamp = b.cfg.Engine.Now().Duration()
+	f.Timestamp = b.LocalNow().Duration()
 	return b.cfg.Modem.Transmit(f)
 }
 
-// SendAt schedules f for transmission at instant t (stamped then).
+// SendAt schedules f for transmission at instant t (stamped then). An
+// instant already in the past — possible when t was derived from a
+// drifted peer's frame timestamp — degrades to sending immediately.
 func (b *Base) SendAt(t sim.Time, f *packet.Frame, onErr func(error)) {
-	b.cfg.Engine.MustScheduleAt(t, sim.PriorityMAC, func() {
+	b.ScheduleClamped(t, sim.PriorityMAC, func() {
 		if err := b.SendNow(f); err != nil && onErr != nil {
 			onErr(err)
 		}
 	})
+}
+
+// ScheduleClamped schedules fn at t, clamped to now if t is already
+// past. Protocol timers computed from received frame timestamps must
+// use this instead of Engine.MustScheduleAt: under injected clock
+// drift a peer's stamp can place a deadline behind the present, and
+// the graceful degradation is a timer that fires at once, not a
+// panicking engine.
+func (b *Base) ScheduleClamped(t sim.Time, prio sim.Priority, fn func()) *sim.Handle {
+	if now := b.cfg.Engine.Now(); t.Before(now) {
+		t = now
+	}
+	return b.cfg.Engine.MustScheduleAt(t, prio, fn)
 }
 
 // Enqueue implements Protocol.
@@ -613,6 +723,7 @@ func (b *Base) failRound(s int64) {
 	b.curAttempts++
 	if b.cfg.MaxRetries > 0 && b.curAttempts >= b.cfg.MaxRetries {
 		b.queue.Pop()
+		b.counters.Dropped++
 		b.curAttempts = 0
 		b.headSince = s
 	}
@@ -731,14 +842,43 @@ var _ phy.Listener = (*Base)(nil)
 // OnFrameReceived implements phy.Listener.
 func (b *Base) OnFrameReceived(f *packet.Frame) {
 	now := b.cfg.Engine.Now()
-	b.table.Observe(f, now, b.FrameTx(f))
-	// Learn third-party pair delays from overheard negotiation frames.
-	if f.PairDelay > 0 && f.Dst != b.cfg.ID && f.Dst != packet.Broadcast {
-		b.table.ObservePair(f.Dst, f.PairDelay, now)
+	localEnd := b.LocalNow()
+	// Physical-consistency gate on the paper's §4.3 delay measurement:
+	// with perfect clocks (arrival end − timestamp − tx time) is the
+	// exact propagation delay, but under injected drift the two clock
+	// errors land in the measurement and can make it negative or longer
+	// than any in-range path. Such a reading is physically impossible —
+	// feeding it to the table would poison scheduling silently, so it
+	// is counted, reported, and discarded instead. The upper bound
+	// carries 25% slack over τmax because depth-dependent sound-speed
+	// profiles legitimately exceed the surface-speed bound slightly.
+	d := localEnd.Duration() - f.Timestamp - b.FrameTx(f)
+	if maxPlausible := b.cfg.Slots.TauMax + b.cfg.Slots.TauMax/4; d < 0 || d > maxPlausible {
+		b.counters.ImpossibleRx++
+		// The stored delay for this peer came from the same poisoned
+		// timestamp source; flag it so confidence-aware admission rules
+		// (EW-MAC's stale-delay fallback) stop trusting it.
+		b.table.MarkSuspect(f.Src)
+		if b.Observing() {
+			b.Emit(obs.Invariant{
+				Node: b.cfg.ID, Check: "impossible-rx",
+				Detail: fmt.Sprintf("frame %v->%v %v: measured delay %v outside [0, %v]",
+					f.Src, f.Dst, f.Kind, d, maxPlausible),
+			})
+		}
+	} else {
+		b.table.Observe(f, localEnd, b.FrameTx(f))
+		// Learn third-party pair delays from overheard negotiation frames.
+		if f.PairDelay > 0 && f.Dst != b.cfg.ID && f.Dst != packet.Broadcast {
+			b.table.ObservePair(f.Dst, f.PairDelay, now)
+		}
 	}
 
 	switch f.Kind {
 	case packet.KindHello, packet.KindNbrUpdate:
+		if f.Kind == packet.KindHello && f.Dst == b.cfg.ID && b.cfg.EnableProbe {
+			b.replyProbe(f.Src)
+		}
 		b.hooks.OnOverheard(f)
 	case packet.KindRTS:
 		b.onRTS(f)

@@ -26,6 +26,7 @@ func (nopHooks) OnContentionLost(*packet.Frame) {}
 func (nopHooks) OnNegotiated(*packet.Frame)     {}
 func (nopHooks) OnOverheard(*packet.Frame)      {}
 func (nopHooks) OnExtraFrame(*packet.Frame)     {}
+func (nopHooks) OnRestart()                     {}
 
 // sinkMedium swallows transmissions.
 type sinkMedium struct{}

@@ -227,7 +227,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	m.SendAt(sendT, data, func(error) { m.abort(st, false) })
 	m.CountersRef().ExtraAttempts++
 	m.recordExtra(j, obs.ExtraRequest, "")
-	st.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+	st.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.steal == st {
 			m.abort(st, true)
 		}
@@ -291,3 +291,14 @@ func (m *MAC) recordExtra(peer packet.NodeID, action, reason string) {
 
 // StealActive reports whether a steal is in flight (tests).
 func (m *MAC) StealActive() bool { return m.steal != nil }
+
+// OnRestart implements mac.Hooks: a crashed node forgets its in-flight
+// steal.
+func (m *MAC) OnRestart() {
+	if m.steal != nil {
+		if m.steal.timeout != nil {
+			m.steal.timeout.Cancel()
+		}
+		m.steal = nil
+	}
+}

@@ -41,6 +41,14 @@ type Options struct {
 	// this zeroes the candidate ordering advantage instead of the
 	// generation.
 	UniformPriority bool
+	// StaleAfter distrusts delay-table entries older than this for
+	// extra-communication admission: attempts and grants against a
+	// stale entry are denied (reason "stale-delay") and a unicast probe
+	// is sent to refresh it, while entries merely aging toward the
+	// limit inflate the scheduling Guard up to 2×. Zero (the default)
+	// disables staleness handling entirely — extra scheduling trusts
+	// the table as long as the base TTL does, the paper's behaviour.
+	StaleAfter time.Duration
 }
 
 func (o *Options) applyDefaults() {
@@ -139,6 +147,48 @@ func (m *MAC) OnNegotiated(*packet.Frame) {}
 // OnOverheard implements mac.Hooks: base bookkeeping suffices.
 func (m *MAC) OnOverheard(*packet.Frame) {}
 
+// staleEntry reports whether peer's delay estimate is too old to base
+// extra-communication timing on. Extra exchanges are scheduled to
+// land inside windows a few guard-margins wide; a table entry that has
+// not been refreshed for StaleAfter (mobility may have moved the peer
+// hundreds of meters since) makes those windows fiction.
+func (m *MAC) staleEntry(peer packet.NodeID, now sim.Time) bool {
+	if m.opts.StaleAfter <= 0 {
+		return false
+	}
+	if m.Table().Suspect(peer) {
+		// The peer produced a physically impossible measurement since
+		// the last good refresh — its stored delay is poisoned
+		// regardless of age.
+		return true
+	}
+	age, ok := m.Table().Age(peer, now)
+	return ok && age > m.opts.StaleAfter
+}
+
+// guardFor returns the scheduling margin to use against peer: the base
+// Guard, inflated linearly up to 2× as the peer's delay estimate ages
+// toward StaleAfter. Fresh entries (or StaleAfter zero) keep the exact
+// base margin.
+func (m *MAC) guardFor(peer packet.NodeID, now sim.Time) time.Duration {
+	g := m.opts.Guard
+	if m.opts.StaleAfter <= 0 {
+		return g
+	}
+	if m.Table().Suspect(peer) {
+		return 2 * g
+	}
+	age, ok := m.Table().Age(peer, now)
+	if !ok || age <= 0 {
+		return g
+	}
+	scale := float64(age) / float64(m.opts.StaleAfter)
+	if scale > 1 {
+		scale = 1
+	}
+	return g + time.Duration(float64(g)*scale)
+}
+
 // OnContentionLost implements mac.Hooks: this is the entry to the
 // "Asking Extra Commu" state of Figure 3. cause is the overheard frame
 // that told us j is busy: a CTS from j to the winner (j is the
@@ -159,6 +209,14 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 		m.denyExtra(cause.Src, "unknown-delay")
 		return
 	}
+	if m.staleEntry(cause.Src, now) {
+		// Table confidence too low to aim inside j's idle window:
+		// deny conservatively and probe to refresh the entry.
+		m.denyExtra(cause.Src, "stale-delay")
+		m.Probe(cause.Src)
+		return
+	}
+	guard := m.guardFor(cause.Src, now)
 
 	// j's idle window for the EXR, per Figure 2: after j finished
 	// transmitting `cause`, before the next frame of j's exchange
@@ -166,15 +224,15 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 	// either way, one slot after `cause`, delayed by the pair delay).
 	slots := m.Slots()
 	causeSlot := slots.SlotAt(sim.At(cause.Timestamp))
-	winStart := slots.StartOf(causeSlot).Add(m.FrameTx(cause) + m.opts.Guard)
-	winEnd := slots.StartOf(causeSlot + 1).Add(cause.PairDelay - m.opts.Guard)
+	winStart := slots.StartOf(causeSlot).Add(m.FrameTx(cause) + guard)
+	winEnd := slots.StartOf(causeSlot + 1).Add(cause.PairDelay - guard)
 
 	exr := m.NewFrame(packet.KindEXR, cause.Src)
 	exr.DataBits = pkt.Bits
 	m.Piggyback(exr) // sized before scheduling so duration is exact
 	exrDur := m.FrameTx(exr)
 
-	sendT := now.Add(m.opts.Guard)
+	sendT := now.Add(guard)
 	if earliest := winStart.Add(-tau); sendT.Before(earliest) {
 		sendT = earliest
 	}
@@ -194,14 +252,14 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 	m.extra = att
 	// EXC should be back after roughly twice the propagation delay
 	// (paper §4.2); time out shortly after.
-	deadline := sendT.Add(2*tau + exrDur + m.ControlTx() + 4*m.opts.Guard)
+	deadline := sendT.Add(2*tau + exrDur + m.ControlTx() + 4*guard)
 	m.SetHold(deadline)
 	m.SendAt(sendT, exr, func(error) { m.abortExtra(att) })
 	m.CountersRef().ExtraAttempts++
 	if m.Observing() {
 		m.Emit(obs.Extra{Node: m.ID(), Peer: cause.Src, Action: obs.ExtraRequest})
 	}
-	att.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+	att.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.extra == att && att.phase == phaseRequested {
 			m.denyExtra(att.target, "exc-timeout")
 			m.abortExtra(att)
@@ -294,6 +352,14 @@ func (m *MAC) onEXR(f *packet.Frame) {
 		return // one extra grant at a time
 	}
 	now := m.Engine().Now()
+	if m.staleEntry(f.Src, now) {
+		// My own knowledge of the requester is stale: the grant instant
+		// I would announce is computed against windows I can no longer
+		// trust. Deny and refresh instead of granting blind.
+		m.denyExtra(f.Src, "stale-delay")
+		m.Probe(f.Src)
+		return
+	}
 	exc := m.NewFrame(packet.KindEXC, f.Src)
 	exc.DataBits = f.DataBits
 	m.Piggyback(exc)
@@ -328,7 +394,7 @@ func (m *MAC) onEXR(f *packet.Frame) {
 	release := grantAt.Add(dataDur + m.ControlTx() + 8*m.opts.Guard)
 	m.SetHold(release)
 	g := m.granted
-	m.Engine().MustScheduleAt(release, sim.PriorityMAC, func() {
+	m.ScheduleClamped(release, sim.PriorityMAC, func() {
 		if m.granted == g {
 			m.granted = nil
 			m.SetHold(m.Engine().Now())
@@ -346,11 +412,12 @@ func (m *MAC) onEXC(f *packet.Frame) {
 	}
 	m.CountersRef().ExtraGrants++
 	now := m.Engine().Now()
+	guard := m.guardFor(att.target, now)
 	tau, known := m.Table().Delay(att.target, now)
 	grantAt := sim.At(f.GrantAt)
 	sendT := grantAt.Add(-tau)
 	dataDur := m.DataTx(att.pkt.Bits)
-	if !known || sendT.Before(now.Add(m.opts.Guard)) ||
+	if !known || sendT.Before(now.Add(guard)) ||
 		!m.clearAtNeighbors(sendT, dataDur, att.target) {
 		m.recordAbort(att.target, "grant-unusable")
 		m.abortExtra(att)
@@ -366,13 +433,13 @@ func (m *MAC) onEXC(f *packet.Frame) {
 	data.Seq = att.pkt.Seq
 	data.Origin = att.pkt.Origin
 	data.GeneratedAt = att.pkt.GeneratedAt
-	deadline := sendT.Add(dataDur + 2*tau + m.ControlTx() + 8*m.opts.Guard)
+	deadline := sendT.Add(dataDur + 2*tau + m.ControlTx() + 8*guard)
 	m.SetHold(deadline)
 	// The grant can lie seconds ahead; new negotiations may begin in
 	// the meantime. Re-run the neighbor admission check at the actual
 	// send instant — extra communication must never interfere with a
 	// negotiated exchange, including ones younger than the grant.
-	m.Engine().MustScheduleAt(sendT, sim.PriorityMAC, func() {
+	m.ScheduleClamped(sendT, sim.PriorityMAC, func() {
 		if m.extra != att {
 			return
 		}
@@ -387,7 +454,7 @@ func (m *MAC) onEXC(f *packet.Frame) {
 		}
 		att.phase = phaseDataSent
 	})
-	att.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+	att.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.extra == att {
 			m.abortExtra(att)
 		}
@@ -439,4 +506,16 @@ func (m *MAC) GrantActive() bool { return m.granted != nil }
 // ablation benches.
 func (m *MAC) ClearAtNeighborsForTest(sendT sim.Time, dur time.Duration, target packet.NodeID) bool {
 	return m.clearAtNeighbors(sendT, dur, target)
+}
+
+// OnRestart implements mac.Hooks: a crashed node forgets its in-flight
+// extra attempt and any grant it issued.
+func (m *MAC) OnRestart() {
+	if m.extra != nil {
+		if m.extra.timeout != nil {
+			m.extra.timeout.Cancel()
+		}
+		m.extra = nil
+	}
+	m.granted = nil
 }

@@ -115,6 +115,9 @@ func NewLedger(slots SlotConfig) *Ledger {
 	return &Ledger{slots: slots}
 }
 
+// Clear drops every tracked exchange (node cold-start after a crash).
+func (l *Ledger) Clear() { l.exchanges = nil }
+
 // ObserveRTS records a speculative exchange from an overheard RTS.
 func (l *Ledger) ObserveRTS(f *packet.Frame, slot int64, dataTx time.Duration) *Exchange {
 	e := l.find(f.Src, f.Dst)

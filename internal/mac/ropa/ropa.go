@@ -199,7 +199,7 @@ func (m *MAC) OnNegotiated(*packet.Frame) {
 	// Stay off the channel until the appended exchange finishes.
 	release := grantAt.Add(m.DataTx(req.bits) + m.ControlTx() + 8*m.opts.Guard)
 	m.SetHold(release)
-	m.Engine().MustScheduleAt(release, sim.PriorityMAC, func() {
+	m.ScheduleClamped(release, sim.PriorityMAC, func() {
 		if !m.Held() {
 			return
 		}
@@ -270,7 +270,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	m.SendAt(sendT, rta, func(error) { m.abort(st) })
 	m.CountersRef().ExtraAttempts++
 	m.recordExtra(f.Src, obs.ExtraRequest, "")
-	st.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+	st.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.pending == st && !st.granted {
 			m.abort(st)
 		}
@@ -357,7 +357,7 @@ func (m *MAC) onGrant(f *packet.Frame) {
 	m.SetHold(deadline)
 	// Re-validate against exchanges negotiated between the grant and
 	// the send instant (ROPA maintains two-hop state, so it can).
-	m.Engine().MustScheduleAt(sendT, sim.PriorityMAC, func() {
+	m.ScheduleClamped(sendT, sim.PriorityMAC, func() {
 		if m.pending != st {
 			return
 		}
@@ -381,7 +381,7 @@ func (m *MAC) onGrant(f *packet.Frame) {
 			m.abort(st)
 		}
 	})
-	st.timeout = m.Engine().MustScheduleAt(deadline, sim.PriorityMAC, func() {
+	st.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.pending == st {
 			m.abort(st)
 		}
@@ -390,3 +390,15 @@ func (m *MAC) onGrant(f *packet.Frame) {
 
 // PendingRTA reports whether an appended request is in flight (tests).
 func (m *MAC) PendingRTA() bool { return m.pending != nil }
+
+// OnRestart implements mac.Hooks: a crashed node forgets its in-flight
+// RTA attempt and any appended-request it promised to serve.
+func (m *MAC) OnRestart() {
+	if m.pending != nil {
+		if m.pending.timeout != nil {
+			m.pending.timeout.Cancel()
+		}
+		m.pending = nil
+	}
+	m.request = nil
+}

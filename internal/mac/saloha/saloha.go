@@ -35,6 +35,7 @@ type MAC struct {
 	sentSeq     uint32
 	backoffLeft int
 	cw          int
+	attempts    int
 	seq         uint32
 	seen        map[uint64]struct{}
 	counters    mac.Counters
@@ -104,10 +105,39 @@ func (m *MAC) Start() {
 func (m *MAC) scheduleSlot() {
 	slot := m.nextSlot
 	m.nextSlot++
-	m.cfg.Engine.MustScheduleAt(m.cfg.Slots.StartOf(slot), sim.PriorityMAC, func() {
+	at := m.cfg.Slots.StartOf(slot)
+	if m.cfg.Clock != nil {
+		// Fire the boundary where the local clock believes it is; a
+		// clock corrected backwards degrades to firing immediately.
+		at = m.cfg.Clock.TrueTime(at.Duration())
+		if now := m.cfg.Engine.Now(); at.Before(now) {
+			at = now
+		}
+	}
+	m.cfg.Engine.MustScheduleAt(at, sim.PriorityMAC, func() {
 		m.onSlot(slot)
 		m.scheduleSlot()
 	})
+}
+
+// localNow is the node's local clock reading (engine time when no
+// drifting clock is injected).
+func (m *MAC) localNow() sim.Time {
+	now := m.cfg.Engine.Now()
+	if m.cfg.Clock == nil {
+		return now
+	}
+	return sim.At(m.cfg.Clock.Local(now))
+}
+
+// Restart cold-starts the node after a crash/recovery cycle: in-flight
+// ack waits and backoff state are forgotten; the queue, dedupe set and
+// counters survive.
+func (m *MAC) Restart() {
+	m.setWaiting(false, m.cfg.Slots.SlotAt(m.cfg.Engine.Now()))
+	m.backoffLeft = 0
+	m.cw = m.cfg.CWMin
+	m.attempts = 0
 }
 
 // emit records one observability event when a recorder is attached.
@@ -139,9 +169,18 @@ func (m *MAC) onSlot(s int64) {
 			if head, ok := m.queue.Peek(); ok {
 				m.counters.RetransmittedBits += uint64(head.Bits)
 			}
+			m.attempts++
+			if m.cfg.MaxRetries > 0 && m.attempts >= m.cfg.MaxRetries {
+				m.queue.Pop()
+				m.counters.Dropped++
+				m.attempts = 0
+			}
 			m.backoffLeft = 1 + m.rng.Intn(m.cw)
 			if m.cw < m.cfg.CWMax {
 				m.cw *= 2
+				if m.cw > m.cfg.CWMax {
+					m.cw = m.cfg.CWMax
+				}
 			}
 		}
 		return
@@ -168,7 +207,7 @@ func (m *MAC) onSlot(s int64) {
 		Origin:      head.Origin,
 		GeneratedAt: head.GeneratedAt,
 		DataBits:    head.Bits,
-		Timestamp:   m.cfg.Engine.Now().Duration(),
+		Timestamp:   m.localNow().Duration(),
 	}
 	if err := m.cfg.Modem.Transmit(f); err != nil {
 		return
@@ -206,13 +245,16 @@ func (m *MAC) OnFrameReceived(f *packet.Frame) {
 		}
 		ack := &packet.Frame{
 			Kind: packet.KindAck, Src: m.cfg.ID, Dst: f.Src, Seq: f.Seq,
-			Timestamp: m.cfg.Engine.Now().Duration(),
+			Timestamp: m.localNow().Duration(),
 		}
 		// The Ack goes out at the next slot boundary to keep the
 		// channel slot-aligned.
 		at := m.cfg.Slots.StartOf(m.cfg.Slots.SlotAt(m.cfg.Engine.Now()) + 1)
+		if now := m.cfg.Engine.Now(); at.Before(now) {
+			at = now
+		}
 		m.cfg.Engine.MustScheduleAt(at, sim.PriorityMAC, func() {
-			ack.Timestamp = m.cfg.Engine.Now().Duration()
+			ack.Timestamp = m.localNow().Duration()
 			_ = m.cfg.Modem.Transmit(ack)
 		})
 	case packet.KindAck:

@@ -64,3 +64,7 @@ func (m *MAC) OnOverheard(*packet.Frame) {}
 // OnExtraFrame implements mac.Hooks: S-FAMA has no extra-communication
 // path; a stray extra frame is ignored.
 func (m *MAC) OnExtraFrame(*packet.Frame) {}
+
+// OnRestart implements mac.Hooks: S-FAMA keeps no protocol-private
+// exchange state beyond the base.
+func (m *MAC) OnRestart() {}

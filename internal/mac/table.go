@@ -22,6 +22,11 @@ type NeighborTable struct {
 type tableEntry struct {
 	delay time.Duration
 	heard sim.Time
+	// suspect marks an entry whose peer produced a physically
+	// impossible delay measurement since the last good refresh: every
+	// delay learned from that peer's timestamps — including this one —
+	// is then untrustworthy until a plausible measurement clears it.
+	suspect bool
 }
 
 // NewNeighborTable returns an empty table with the given TTL.
@@ -68,6 +73,37 @@ func (t *NeighborTable) Delay(id packet.NodeID, now sim.Time) (time.Duration, bo
 		return 0, false
 	}
 	return e.delay, true
+}
+
+// Age returns how long ago the estimate for a neighbor was refreshed,
+// and whether any estimate (live or stale) exists. Staleness-aware
+// admission rules use it to distrust old entries before TTL expiry.
+func (t *NeighborTable) Age(id packet.NodeID, now sim.Time) (time.Duration, bool) {
+	e, ok := t.entries[id]
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(e.heard), true
+}
+
+// MarkSuspect flags an existing entry as untrustworthy (its peer just
+// produced an impossible delay measurement). A later plausible
+// Observe clears the flag.
+func (t *NeighborTable) MarkSuspect(id packet.NodeID) {
+	if e, ok := t.entries[id]; ok {
+		e.suspect = true
+		t.entries[id] = e
+	}
+}
+
+// Suspect reports whether the entry exists and is flagged suspect.
+func (t *NeighborTable) Suspect(id packet.NodeID) bool {
+	return t.entries[id].suspect
+}
+
+// Clear drops every entry (node cold-start after a crash).
+func (t *NeighborTable) Clear() {
+	t.entries = make(map[packet.NodeID]tableEntry)
 }
 
 // Known returns the IDs with live estimates, sorted for determinism.

@@ -92,6 +92,15 @@ type Counters struct {
 	// MaintenanceBits counts dedicated neighbor-maintenance traffic
 	// (Hello and NbrUpdate frames), an overhead input.
 	MaintenanceBits uint64
+	// Dropped counts packets abandoned after MaxRetries failed rounds.
+	Dropped uint64
+	// Probes counts unicast delay-refresh probes sent (stale-table
+	// recovery traffic; their bits are folded into MaintenanceBits).
+	Probes uint64
+	// ImpossibleRx counts received frames whose measured propagation
+	// delay was physically impossible (clock drift poisoning); the
+	// measurements were discarded rather than fed to the delay table.
+	ImpossibleRx uint64
 }
 
 // Add returns the field-wise sum of two counter sets.
@@ -113,6 +122,9 @@ func (c Counters) Add(o Counters) Counters {
 		ExtraGrants:           c.ExtraGrants + o.ExtraGrants,
 		ExtraCompletions:      c.ExtraCompletions + o.ExtraCompletions,
 		MaintenanceBits:       c.MaintenanceBits + o.MaintenanceBits,
+		Dropped:               c.Dropped + o.Dropped,
+		Probes:                c.Probes + o.Probes,
+		ImpossibleRx:          c.ImpossibleRx + o.ImpossibleRx,
 	}
 }
 

@@ -145,6 +145,21 @@ func (j *JSONL) Record(at sim.Time, e Event) {
 			Action string `json:"action"`
 			Reason string `json:"reason,omitempty"`
 		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Action, ev.Reason}
+	case Fault:
+		line = struct {
+			header
+			Node   uint16 `json:"node"`
+			Kind   string `json:"kind"`
+			Action string `json:"action"`
+			Detail string `json:"detail,omitempty"`
+		}{h, uint16(ev.Node), ev.Kind, ev.Action, ev.Detail}
+	case Invariant:
+		line = struct {
+			header
+			Node   uint16 `json:"node"`
+			Check  string `json:"check"`
+			Detail string `json:"detail,omitempty"`
+		}{h, uint16(ev.Node), ev.Check, ev.Detail}
 	case EngineSample:
 		line = struct {
 			header

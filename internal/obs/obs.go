@@ -227,6 +227,46 @@ type Extra struct {
 // Tag implements Event.
 func (Extra) Tag() string { return "mac.extra" }
 
+// ---- Fault events ----
+
+// Fault lifecycle actions.
+const (
+	// FaultInject: the fault became active on the node.
+	FaultInject = "inject"
+	// FaultClear: the fault ended and the node recovered.
+	FaultClear = "clear"
+)
+
+// Fault records one fault-injection lifecycle step: a scenario injector
+// activated (inject) or lifted (clear) a fault on a node. Kind names
+// the injector ("churn", "drift", "sync-loss", "outage",
+// "interference", "delay-shift"); Detail carries the injector-specific
+// magnitude (skew in ppm, level in dB, jump in meters, ...).
+type Fault struct {
+	Node   packet.NodeID
+	Kind   string
+	Action string
+	Detail string
+}
+
+// Tag implements Event.
+func (Fault) Tag() string { return "fault.event" }
+
+// Invariant records a physical-consistency check that fired at a node:
+// the protocol observed something impossible under its own model of
+// the world (for example a frame whose timestamp arithmetic yields a
+// negative propagation delay under clock drift). The node degrades
+// gracefully — it skips the poisoned measurement — and this event is
+// the audit trail.
+type Invariant struct {
+	Node   packet.NodeID
+	Check  string
+	Detail string
+}
+
+// Tag implements Event.
+func (Invariant) Tag() string { return "mac.invariant" }
+
 // ---- Engine events ----
 
 // EngineSample is a periodic event-loop health sample, emitted by the

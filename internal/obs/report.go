@@ -19,6 +19,8 @@ type Collector struct {
 	contention map[string]uint64
 	extras     map[string]uint64
 	deny       map[string]uint64
+	faults     map[string]uint64
+	invariants map[string]uint64
 
 	delivered      uint64
 	deliveredBits  uint64
@@ -34,6 +36,8 @@ func NewCollector() *Collector {
 		contention: make(map[string]uint64),
 		extras:     make(map[string]uint64),
 		deny:       make(map[string]uint64),
+		faults:     make(map[string]uint64),
+		invariants: make(map[string]uint64),
 	}
 }
 
@@ -53,6 +57,10 @@ func (c *Collector) Record(at sim.Time, e Event) {
 		if ev.Reason != "" {
 			c.deny[ev.Action+"/"+ev.Reason]++
 		}
+	case Fault:
+		c.faults[ev.Kind+"/"+ev.Action]++
+	case Invariant:
+		c.invariants[ev.Check]++
 	case Delivery:
 		c.delivered++
 		c.deliveredBits += uint64(ev.Bits)
@@ -84,6 +92,11 @@ type RunReport struct {
 	// deny/abort actions by the admission rule that fired.
 	Extras      map[string]uint64 `json:"extras,omitempty"`
 	DenyReasons map[string]uint64 `json:"deny_reasons,omitempty"`
+	// Faults breaks fault.event down by kind/action (e.g.
+	// "churn/inject"); Invariants breaks mac.invariant down by check.
+	// Both are empty — and omitted — on fault-free runs.
+	Faults     map[string]uint64 `json:"faults,omitempty"`
+	Invariants map[string]uint64 `json:"invariants,omitempty"`
 
 	// DeliveredPackets / DeliveredBits count unique payload deliveries
 	// (they match mac.Counters exactly; see the experiment tests).
@@ -116,6 +129,8 @@ func (c *Collector) Report(durationS float64) *RunReport {
 		Contention:       copyMap(c.contention),
 		Extras:           copyMap(c.extras),
 		DenyReasons:      copyMap(c.deny),
+		Faults:           copyMap(c.faults),
+		Invariants:       copyMap(c.invariants),
 		DeliveredPackets: c.delivered,
 		DeliveredBits:    c.deliveredBits,
 		ExtraDelivered:   c.extraDelivered,
@@ -187,6 +202,8 @@ func (r *RunReport) WriteProm(w io.Writer) error {
 	family("uasn_contention_total", "Contention steps by outcome.", "counter", r.Contention, "outcome")
 	family("uasn_extra_total", "Extra-communication steps by action.", "counter", r.Extras, "action")
 	family("uasn_extra_denied_total", "Extra denials/aborts by reason.", "counter", r.DenyReasons, "reason")
+	family("uasn_fault_events_total", "Injected fault lifecycle steps by kind/action.", "counter", r.Faults, "fault")
+	family("uasn_invariant_checks_total", "Physical-consistency checks fired, by check.", "counter", r.Invariants, "check")
 	scalar("uasn_delivered_packets", "Unique data payloads delivered.", "counter", float64(r.DeliveredPackets))
 	scalar("uasn_delivered_bits", "Unique payload bits delivered.", "counter", float64(r.DeliveredBits))
 	scalar("uasn_throughput_kbps", "Delivered payload rate over the window.", "gauge", r.ThroughputKbps)

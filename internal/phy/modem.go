@@ -22,6 +22,10 @@ import (
 // the transducer is half-duplex and single-channel.
 var ErrBusy = errors.New("phy: modem already transmitting")
 
+// ErrDown is returned by Transmit while the modem is down (crashed
+// node or transient outage injected by the fault layer).
+var ErrDown = errors.New("phy: modem down")
+
 // LossReason classifies why a decodable frame was not delivered. Real
 // modems cannot always tell these apart; the reasons feed metrics, not
 // protocol logic.
@@ -119,6 +123,7 @@ type Modem struct {
 	txFrame      *packet.Frame
 	arrivals     []*arrival
 	stats        Stats
+	down         bool
 
 	// rxTap / lossTap are observability hooks for metrics and
 	// verification oracles; they see the same events as the listener
@@ -202,6 +207,34 @@ func (m *Modem) Energy() (energy.Breakdown, error) {
 // Transmitting reports whether a transmission is in progress.
 func (m *Modem) Transmitting() bool { return m.transmitting }
 
+// Down reports whether the modem is down (fault-injected crash or
+// outage).
+func (m *Modem) Down() bool { return m.down }
+
+// SetDown switches the modem between down and operational. While down
+// the modem cannot start a transmission (Transmit returns ErrDown),
+// never decodes arriving signals — including ones already in the air,
+// which a dying receiver loses silently — and meters the sleep power
+// draw. Bringing the modem back up restores idle listening; signals
+// already arriving stay undecodable because the modem missed their
+// synchronization preamble.
+func (m *Modem) SetDown(down bool) {
+	if m.down == down {
+		return
+	}
+	m.down = down
+	if down {
+		for _, a := range m.arrivals {
+			a.decodable = false
+		}
+		// An in-flight transmission is allowed to finish clocking out:
+		// its energy is already committed to the channel, and cutting
+		// the OnTxDone callback would wedge the MAC state machine the
+		// fault layer is trying to exercise, not break.
+	}
+	m.updateEnergyState()
+}
+
 // Receiving reports whether any decodable signal is currently arriving.
 func (m *Modem) Receiving() bool {
 	for _, a := range m.arrivals {
@@ -221,6 +254,9 @@ func (m *Modem) CarrierSensed() bool { return len(m.arrivals) > 0 || m.transmitt
 // progress. Transmitting corrupts every arrival currently in the air at
 // this modem (half-duplex).
 func (m *Modem) Transmit(f *packet.Frame) error {
+	if m.down {
+		return fmt.Errorf("%w: %v", ErrDown, f)
+	}
 	if m.transmitting {
 		return fmt.Errorf("%w: %v while sending %v", ErrBusy, f, m.txFrame)
 	}
@@ -282,7 +318,25 @@ func (m *Modem) BeginArrival(f *packet.Frame, levelDB float64, dur time.Duration
 		levelLin:  acoustic.DBToLin(levelDB),
 		end:       now.Add(dur),
 		corruptTx: m.transmitting,
-		decodable: syncable && m.model.Decodable(m.model.SINRDBFromLin(levelDB, 0)),
+		decodable: syncable && !m.down && m.model.Decodable(m.model.SINRDBFromLin(levelDB, 0)),
+	}
+	m.arrivals = append(m.arrivals, a)
+	m.refreshInterference()
+	m.updateEnergyState()
+	m.eng.ScheduleIn(dur, sim.PriorityPHY, func() { m.endArrival(a) })
+}
+
+// InjectInterference adds raw noise energy at this modem for dur: an
+// arrival with no frame behind it that is never decodable but degrades
+// the SINR of everything concurrently in the air (bursty biological or
+// shipping noise, injected by the fault layer). The energy also shows
+// up on carrier sense, so backoff logic reacts to it like any other
+// busy-channel episode.
+func (m *Modem) InjectInterference(levelDB float64, dur time.Duration) {
+	a := &arrival{
+		levelDB:  levelDB,
+		levelLin: acoustic.DBToLin(levelDB),
+		end:      m.eng.Now().Add(dur),
 	}
 	m.arrivals = append(m.arrivals, a)
 	m.refreshInterference()
@@ -370,6 +424,8 @@ func (m *Modem) updateEnergyState() {
 	switch {
 	case m.transmitting:
 		state = energy.StateTx
+	case m.down:
+		state = energy.StateSleep
 	case m.Receiving():
 		state = energy.StateRx
 	}

@@ -385,3 +385,98 @@ func TestLossReasonString(t *testing.T) {
 		t.Error("LossReason strings changed")
 	}
 }
+
+func TestModemDown(t *testing.T) {
+	eng := sim.NewEngine(1)
+	med := &fakeMedium{eng: eng, delay: 500 * time.Millisecond, level: 140, usable: true}
+	a, _ := newTestModem(t, eng, 1, med)
+	b, recB := newTestModem(t, eng, 2, med)
+	med.peers = []*Modem{a, b}
+
+	b.SetDown(true)
+	if !b.Down() {
+		t.Fatal("Down() false after SetDown(true)")
+	}
+	if err := b.Transmit(ctrlFrame(packet.KindRTS, 2, 1)); !errors.Is(err, ErrDown) {
+		t.Fatalf("Transmit while down = %v, want ErrDown", err)
+	}
+	// A frame arriving at a down modem is never decoded — not even
+	// reported as a loss (the receiver missed the preamble entirely).
+	if err := a.Transmit(ctrlFrame(packet.KindRTS, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(recB.received) != 0 || len(recB.lost) != 0 {
+		t.Fatalf("down modem saw received=%d lost=%d, want nothing", len(recB.received), len(recB.lost))
+	}
+
+	// Back up: traffic flows again.
+	b.SetDown(false)
+	if err := a.Transmit(ctrlFrame(packet.KindCTS, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(recB.received) != 1 {
+		t.Fatalf("recovered modem received %d frames, want 1", len(recB.received))
+	}
+}
+
+func TestModemDownKillsInFlightArrival(t *testing.T) {
+	eng := sim.NewEngine(1)
+	med := &fakeMedium{eng: eng, delay: 500 * time.Millisecond, level: 140, usable: true}
+	a, _ := newTestModem(t, eng, 1, med)
+	b, recB := newTestModem(t, eng, 2, med)
+	med.peers = []*Modem{a, b}
+
+	if err := a.Transmit(ctrlFrame(packet.KindRTS, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash b while the frame is propagating/arriving.
+	eng.MustScheduleAt(sim.At(505*time.Millisecond), sim.PriorityMAC, func() {
+		b.SetDown(true)
+	})
+	eng.Run()
+	if len(recB.received) != 0 {
+		t.Fatalf("down modem decoded %d frames, want 0", len(recB.received))
+	}
+}
+
+func TestInjectInterference(t *testing.T) {
+	eng := sim.NewEngine(1)
+	med := &fakeMedium{eng: eng, delay: 500 * time.Millisecond, level: 140, usable: true}
+	a, _ := newTestModem(t, eng, 1, med)
+	b, recB := newTestModem(t, eng, 2, med)
+	med.peers = []*Modem{a, b}
+
+	// Noise alone: carrier sensed, nothing decoded, no losses.
+	b.InjectInterference(140, time.Second)
+	if !b.CarrierSensed() {
+		t.Error("interference not carrier-sensed")
+	}
+	if b.Receiving() {
+		t.Error("interference reported as decodable reception")
+	}
+	eng.Run()
+	if b.CarrierSensed() {
+		t.Error("interference never cleared")
+	}
+	if len(recB.received) != 0 || len(recB.lost) != 0 {
+		t.Fatalf("noise produced received=%d lost=%d events", len(recB.received), len(recB.lost))
+	}
+
+	// Noise at equal power with a real frame drives SINR to 0 dB,
+	// below the default 10 dB threshold: the frame is a collision loss.
+	if err := a.Transmit(ctrlFrame(packet.KindRTS, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	eng.MustScheduleAt(eng.Now().Add(505*time.Millisecond), sim.PriorityPHY, func() {
+		b.InjectInterference(med.level, 200*time.Millisecond)
+	})
+	eng.Run()
+	if len(recB.received) != 0 {
+		t.Fatalf("frame decoded through equal-power noise")
+	}
+	if len(recB.lost) != 1 || recB.lost[0] != LossCollision {
+		t.Fatalf("lost = %v, want one collision", recB.lost)
+	}
+}

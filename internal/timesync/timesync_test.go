@@ -122,6 +122,55 @@ func TestEstimatorSlidingWindow(t *testing.T) {
 	if e.Len() != 5 {
 		t.Errorf("Len = %d, want 5", e.Len())
 	}
+	// Shrinking the bound takes effect on the next sample.
+	e.MaxSamples = 3
+	e.AddBeacon(20*time.Second, 20*time.Second, 0)
+	if e.Len() != 3 {
+		t.Errorf("Len = %d after shrinking the window, want 3", e.Len())
+	}
+}
+
+// TestEstimatorWindowTracksClockStep is why the window exists: when
+// the clock's phase steps (a reboot, a discipline glitch), old samples
+// describe a clock that no longer exists. A windowed estimator slides
+// them out and re-converges on the new clock; an unbounded one stays
+// biased by the dead history.
+func TestEstimatorWindowTracksClockStep(t *testing.T) {
+	before := Clock{Offset: -80 * time.Millisecond, SkewPPM: 20}
+	after := Clock{Offset: 200 * time.Millisecond, SkewPPM: 20}
+	windowed := Estimator{MaxSamples: 10}
+	var unbounded Estimator
+	delay := 300 * time.Millisecond
+	for ts := 10 * time.Second; ts <= 600*time.Second; ts += 10 * time.Second {
+		c := before
+		if ts > 300*time.Second {
+			c = after
+		}
+		la := c.Local(sim.At(ts + delay))
+		windowed.AddBeacon(la, ts, delay)
+		unbounded.AddBeacon(la, ts, delay)
+	}
+	if windowed.Len() != 10 {
+		t.Fatalf("window Len = %d, want 10", windowed.Len())
+	}
+	probe := sim.At(590 * time.Second)
+	local := after.Local(probe)
+	wCorr, err := windowed.Correct(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uCorr, err := unbounded.Correct(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wErr := (wCorr - probe.Duration()).Abs()
+	uErr := (uCorr - probe.Duration()).Abs()
+	if wErr > time.Millisecond {
+		t.Errorf("windowed correction error %v after the step, want <1ms", wErr)
+	}
+	if uErr < 10*wErr+10*time.Millisecond {
+		t.Errorf("unbounded estimator error %v unexpectedly small vs windowed %v — step no longer discriminates", uErr, wErr)
+	}
 }
 
 // Property: for any physical clock (bounded offset and skew) and
