@@ -1,15 +1,18 @@
 // Command benchjson runs the simulator's performance benchmarks and
-// writes the results as machine-readable JSON, so observability-layer
-// overhead can be tracked across commits.
+// writes the results as machine-readable JSON, so hot-path regressions
+// can be tracked across commits.
 //
-//	benchjson                # writes BENCH_obs.json
-//	benchjson -o out.json    # custom path
-//	benchjson -benchtime 3s  # longer sampling
+//	benchjson                        # writes BENCH_3.json
+//	benchjson -o out.json            # custom path
+//	benchjson -benchtime 3s          # longer sampling
+//	benchjson -quick                 # engine/channel micro-benches only
+//	benchjson -compare BENCH_3.json  # print % deltas vs a saved run,
+//	                                 # exit nonzero past -threshold
 //
-// Three benchmarks run: the engine schedule/run micro-benchmark
-// (mirroring BenchmarkEngineScheduleRun in internal/sim), and a short
-// EW-MAC scenario with observability off and fully on — the pair that
-// bounds the event bus's cost.
+// The full suite runs the engine schedule/run micro-benchmark, the
+// channel broadcast micro-benchmark, and a short EW-MAC scenario with
+// observability off and fully on — the pair that bounds the event
+// bus's cost.
 package main
 
 import (
@@ -17,14 +20,22 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"testing"
 	"time"
 
 	"ewmac"
+	"ewmac/internal/acoustic"
+	"ewmac/internal/channel"
+	"ewmac/internal/energy"
 	"ewmac/internal/obs"
+	"ewmac/internal/packet"
+	"ewmac/internal/phy"
 	"ewmac/internal/sim"
+	"ewmac/internal/topology"
+	"ewmac/internal/vec"
 )
 
 // result is one benchmark's measurements.
@@ -39,53 +50,140 @@ type result struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	// Register the testing package's flags (test.benchtime below) so
 	// testing.Benchmark works outside "go test".
 	testing.Init()
-	out := flag.String("o", "BENCH_obs.json", "output file")
+	out := flag.String("o", "BENCH_3.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "target sampling time per benchmark")
+	quick := flag.Bool("quick", false, "run only the engine/channel micro-benchmarks")
+	compare := flag.String("compare", "", "baseline JSON to diff against (per-benchmark % deltas)")
+	threshold := flag.Float64("threshold", 5, "ns/op regression %% beyond which -compare exits nonzero")
 	flag.Parse()
 
 	// testing.Benchmark honours this global; there is no public field
 	// for it on testing.B.
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	results := []result{
 		benchEngine(),
-		benchScenario("ewmac/obs-off", nil),
-		benchScenario("ewmac/obs-on", &ewmac.Observe{
-			Recorder: obs.RecorderFunc(func(sim.Time, obs.Event) {}),
-			Trace:    io.Discard,
-			Report:   true,
-		}),
+		benchChannel(),
+	}
+	if !*quick {
+		results = append(results,
+			benchScenario("ewmac/obs-off", nil),
+			benchScenario("ewmac/obs-on", &ewmac.Observe{
+				Recorder: obs.RecorderFunc(func(sim.Time, obs.Event) {}),
+				Trace:    io.Discard,
+				Report:   true,
+			}),
+		)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
+	if err := writeResults(*out, results); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err == nil {
-		err = f.Close()
-	} else {
-		f.Close()
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	for _, r := range results {
-		fmt.Printf("%-18s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		fmt.Printf("%-22s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
 		if r.EventsPerSec > 0 {
 			fmt.Printf(" %12.0f events/s", r.EventsPerSec)
 		}
 		fmt.Println()
 	}
+
+	if *compare != "" {
+		regressed, err := compareResults(*compare, results, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		if regressed {
+			return 2
+		}
+	}
+	return 0
+}
+
+func writeResults(path string, results []result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// compareResults prints per-benchmark deltas of the current run against
+// the baseline file and reports whether any benchmark's ns/op regressed
+// beyond threshold percent.
+func compareResults(path string, cur []result, threshold float64) (regressed bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var old []result
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return false, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	base := make(map[string]result, len(old))
+	for _, r := range old {
+		base[r.Name] = r
+	}
+
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			return "     n/a"
+		}
+		return fmt.Sprintf("%+7.1f%%", (newV-oldV)/oldV*100)
+	}
+	fmt.Printf("\ncompare vs %s (ns/op regression threshold %.1f%%):\n", path, threshold)
+	fmt.Printf("%-22s %14s %14s %9s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs", "ΔB/op")
+	for _, r := range cur {
+		o, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("%-22s %14s (no baseline entry)\n", r.Name, "-")
+			continue
+		}
+		fmt.Printf("%-22s %14.0f %14.0f %9s %9s %9s",
+			r.Name, o.NsPerOp, r.NsPerOp,
+			pct(o.NsPerOp, r.NsPerOp),
+			pct(float64(o.AllocsPerOp), float64(r.AllocsPerOp)),
+			pct(float64(o.BytesPerOp), float64(r.BytesPerOp)))
+		if o.EventsPerSec > 0 && r.EventsPerSec > 0 {
+			fmt.Printf("  events/s %s", pct(o.EventsPerSec, r.EventsPerSec))
+		}
+		if o.NsPerOp > 0 && !math.IsNaN(r.NsPerOp) &&
+			(r.NsPerOp-o.NsPerOp)/o.NsPerOp*100 > threshold {
+			regressed = true
+			fmt.Printf("  REGRESSED")
+		}
+		fmt.Println()
+	}
+	for _, o := range old {
+		found := false
+		for _, r := range cur {
+			if r.Name == o.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-22s (baseline entry not in this run)\n", o.Name)
+		}
+	}
+	return regressed, nil
 }
 
 // benchEngine mirrors internal/sim's BenchmarkEngineScheduleRun: one op
@@ -109,6 +207,58 @@ func benchEngine() result {
 		res.EventsPerSec = batch / ns * 1e9
 	}
 	return res
+}
+
+// benchChannel mirrors internal/channel's BenchmarkChannelBroadcast:
+// one op broadcasts a control frame to a static 40-node deployment and
+// drains the scheduled arrivals — the geometry-cache + copy-on-write
+// hot path.
+func benchChannel() result {
+	const n = 40
+	eng := sim.NewEngine(1)
+	model := acoustic.DefaultModel()
+	nodes := make([]*topology.Node, n)
+	for i := range nodes {
+		nodes[i] = &topology.Node{
+			ID:  packet.NodeID(i + 1),
+			Pos: vec.V3{X: float64(i%8) * 300, Y: float64(i/8) * 300, Z: 100},
+		}
+	}
+	region := vec.Box{Min: vec.V3{X: -1e4, Y: -1e4, Z: 0}, Max: vec.V3{X: 1e4, Y: 1e4, Z: 1e4}}
+	net, err := topology.NewNetwork(region, model, nodes)
+	if err != nil {
+		panic(err)
+	}
+	ch, err := channel.New(eng, net)
+	if err != nil {
+		panic(err)
+	}
+	for i := range nodes {
+		m, err := phy.NewModem(phy.Config{
+			ID: packet.NodeID(i + 1), Engine: eng, Model: model,
+			Medium: ch, Energy: energy.DefaultProfile(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := ch.Register(m); err != nil {
+			panic(err)
+		}
+	}
+	f := &packet.Frame{
+		Kind: packet.KindRTS, Src: 1, Dst: 2,
+		Neighbors: []packet.NeighborInfo{{ID: 2, Delay: time.Second}},
+	}
+	dur := 10 * time.Millisecond
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ch.Broadcast(1, f, dur)
+			eng.Run()
+		}
+	})
+	return toResult("channel/broadcast-40", br)
 }
 
 // benchScenario measures a short Table 2 EW-MAC run; observe toggles

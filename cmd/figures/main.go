@@ -2,7 +2,7 @@
 // figures. With no arguments it runs everything; otherwise pass any of
 // table2, fig6, fig7, fig8, fig9a, fig9b, fig10a, fig10b, fig11.
 //
-//	figures -seeds 3 -sim 300s -csv out/ fig6 fig11
+//	figures -seeds 3 -sim 300s -workers 8 -csv out/ fig6 fig11
 package main
 
 import (
@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"ewmac/internal/figures"
@@ -26,15 +28,21 @@ func run() int {
 		simTime = flag.Duration("sim", 300*time.Second, "simulated time per run")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
+		workers = flag.Int("workers", 0, "max concurrent sweep points (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	opts := figures.Options{SimTime: *simTime}
+	opts := figures.Options{SimTime: *simTime, Workers: *workers}
 	for s := int64(1); s <= int64(*seeds); s++ {
 		opts.Seeds = append(opts.Seeds, s)
 	}
+	var progressMu sync.Mutex
 	if !*quiet {
-		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+		opts.Progress = func(line string) {
+			progressMu.Lock()
+			defer progressMu.Unlock()
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
 	}
 
 	want := map[string]bool{}
@@ -46,25 +54,63 @@ func run() int {
 	if all || want["table2"] {
 		fmt.Println(figures.Table2())
 	}
+
+	type figJob struct {
+		id  string
+		run func(figures.Options) (*figures.Table, error)
+	}
+	var selected []figJob
 	for _, fg := range figures.All() {
-		if !all && !want[fg.ID] {
-			continue
+		if all || want[fg.ID] {
+			selected = append(selected, figJob{fg.ID, fg.Run})
 		}
-		start := time.Now()
-		t, err := fg.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", fg.ID, err)
+	}
+
+	// Figures run concurrently too; the per-point worker pool inside each
+	// sweep and the global run gate in the experiment package keep total
+	// CPU use bounded regardless of how many figures are in flight.
+	// Output stays in selection order: each figure's results print as
+	// soon as it and all its predecessors are done.
+	type figRes struct {
+		t    *figures.Table
+		err  error
+		took time.Duration
+	}
+	figPar := *workers
+	if figPar <= 0 {
+		figPar = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, figPar)
+	results := make([]figRes, len(selected))
+	done := make([]chan struct{}, len(selected))
+	for i := range selected {
+		done[i] = make(chan struct{})
+		go func(i int) {
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			t, err := selected[i].run(opts)
+			results[i] = figRes{t: t, err: err, took: time.Since(start)}
+		}(i)
+	}
+
+	for i, fg := range selected {
+		<-done[i]
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", fg.id, r.err)
 			return 1
 		}
-		fmt.Println(t.Render())
-		fmt.Fprintf(os.Stderr, "  (%s took %v)\n", fg.ID, time.Since(start).Truncate(time.Millisecond))
+		fmt.Println(r.t.Render())
+		fmt.Fprintf(os.Stderr, "  (%s took %v)\n", fg.id, r.took.Truncate(time.Millisecond))
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				return 1
 			}
-			path := filepath.Join(*csvDir, fg.ID+".csv")
-			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			path := filepath.Join(*csvDir, fg.id+".csv")
+			if err := os.WriteFile(path, []byte(r.t.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				return 1
 			}

@@ -33,6 +33,29 @@ const InterferenceRangeFactor = 2.0
 // debug tracer. It runs at emission time.
 type TraceFunc func(src, dst packet.NodeID, f *packet.Frame, delay time.Duration, levelDB float64)
 
+// rxGeom is one precomputed receiver entry of a source's geometry list:
+// everything Broadcast needs per in-interference-range neighbor, so the
+// hot path does zero trigonometry while the topology is static.
+type rxGeom struct {
+	rx        *phy.Modem
+	dst       packet.NodeID
+	delay     time.Duration
+	levelDB   float64
+	surfDelay time.Duration
+	surfLevel float64
+	syncable  bool
+	surf      bool
+}
+
+// srcGeoms is the cached receiver list for one source, stamped with the
+// topology epoch and modem-registration generation it was built under.
+type srcGeoms struct {
+	epoch uint64
+	gen   uint64
+	built bool
+	list  []rxGeom
+}
+
 // Channel is the shared acoustic medium.
 type Channel struct {
 	eng    *sim.Engine
@@ -40,6 +63,18 @@ type Channel struct {
 	modems map[packet.NodeID]*phy.Modem
 	trace  TraceFunc
 	rec    obs.Recorder
+
+	// geo caches per-source receiver geometry, indexed by NodeID-1. An
+	// entry is valid while the topology epoch and registration
+	// generation it was built under are both current; Broadcast rebuilds
+	// it lazily (reusing the slice) otherwise.
+	geo      []srcGeoms
+	regGen   uint64 // bumped by Register; invalidates every cache entry
+	cacheOff bool
+	scratch  []rxGeom // reused build target when the cache is disabled
+
+	cacheHits   uint64
+	cacheMisses uint64
 
 	// Deliveries counts scheduled frame arrivals (per receiver).
 	deliveries uint64
@@ -59,6 +94,7 @@ func New(eng *sim.Engine, net *topology.Network) (*Channel, error) {
 		eng:    eng,
 		net:    net,
 		modems: make(map[packet.NodeID]*phy.Modem),
+		geo:    make([]srcGeoms, net.Len()),
 	}, nil
 }
 
@@ -75,7 +111,18 @@ func (c *Channel) Register(m *phy.Modem) error {
 		return fmt.Errorf("channel: duplicate modem for %v", m.ID())
 	}
 	c.modems[m.ID()] = m
+	c.regGen++
 	return nil
+}
+
+// SetCacheEnabled force-disables (or re-enables) the geometry cache.
+// With the cache off every broadcast recomputes pairwise geometry from
+// scratch — the reference path the determinism tests compare against.
+func (c *Channel) SetCacheEnabled(on bool) { c.cacheOff = !on }
+
+// CacheStats reports geometry-cache hits and misses (rebuilds).
+func (c *Channel) CacheStats() (hits, misses uint64) {
+	return c.cacheHits, c.cacheMisses
 }
 
 // SetTrace installs a delivery observer (nil to disable).
@@ -89,22 +136,16 @@ func (c *Channel) SetRecorder(r obs.Recorder) { c.rec = r }
 // Deliveries reports how many frame arrivals have been scheduled.
 func (c *Channel) Deliveries() uint64 { return c.deliveries }
 
-// Broadcast implements phy.Medium: it fans f out to every other modem
-// within interference range, with per-pair delay and received level
-// computed from the current node positions.
-func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration) {
-	srcNode := c.net.Node(src)
-	if srcNode == nil {
-		panic(fmt.Sprintf("channel: broadcast from unknown node %v", src))
-	}
+// buildGeoms computes the receiver list for srcNode into out (reused
+// between rebuilds), iterating in node-ID order — arrivals scheduled
+// for the same instant execute in scheduling order, so the list order
+// must be deterministic across runs.
+func (c *Channel) buildGeoms(srcNode *topology.Node, out []rxGeom) []rxGeom {
 	model := c.net.Model
 	maxDist := model.MaxRangeM * InterferenceRangeFactor
-	// Iterate in node-ID order, not map order: arrivals scheduled for
-	// the same instant are executed in scheduling order, and that order
-	// must be deterministic across runs.
 	for _, dstNode := range c.net.Nodes() {
 		id := dstNode.ID
-		if id == src {
+		if id == srcNode.ID {
 			continue
 		}
 		rx, ok := c.modems[id]
@@ -115,37 +156,91 @@ func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duratio
 		if dist > maxDist {
 			continue
 		}
-		delay := model.Delay(srcNode.Pos, dstNode.Pos)
-		level := model.ReceivedLevelDB(srcNode.Pos, dstNode.Pos)
-		// Beyond the nominal communication range (Table 2: 1.5 km) the
-		// modem never synchronizes to the signal, but its energy still
-		// interferes at full physical strength.
-		syncable := dist <= model.MaxRangeM
+		g := rxGeom{
+			rx:      rx,
+			dst:     id,
+			delay:   model.Delay(srcNode.Pos, dstNode.Pos),
+			levelDB: model.ReceivedLevelDB(srcNode.Pos, dstNode.Pos),
+			// Beyond the nominal communication range (Table 2: 1.5 km)
+			// the modem never synchronizes to the signal, but its energy
+			// still interferes at full physical strength.
+			syncable: dist <= model.MaxRangeM,
+		}
+		if model.SurfaceReflection {
+			// Two-ray extension: the surface-bounced copy arrives later
+			// and weaker, as pure interference (a real modem stays
+			// locked to the direct ray).
+			rDelay, rLevel := model.SurfacePath(srcNode.Pos, dstNode.Pos)
+			if rDelay > g.delay {
+				g.surf = true
+				g.surfDelay = rDelay
+				g.surfLevel = rLevel
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// geomsFor returns the receiver list for src, from cache when the
+// topology epoch and modem registrations are unchanged since it was
+// built. The returned slice is owned by the channel and only valid
+// until the next Broadcast.
+func (c *Channel) geomsFor(src packet.NodeID, srcNode *topology.Node) []rxGeom {
+	if c.cacheOff {
+		c.scratch = c.buildGeoms(srcNode, c.scratch[:0])
+		return c.scratch
+	}
+	sg := &c.geo[int(src)-1]
+	if sg.built && sg.epoch == c.net.Epoch() && sg.gen == c.regGen {
+		c.cacheHits++
+		return sg.list
+	}
+	c.cacheMisses++
+	sg.list = c.buildGeoms(srcNode, sg.list[:0])
+	sg.epoch = c.net.Epoch()
+	sg.gen = c.regGen
+	sg.built = true
+	return sg.list
+}
+
+// Broadcast implements phy.Medium: it fans f out to every other modem
+// within interference range, with per-pair delay and received level
+// computed from the current node positions (cached while the topology
+// is static). All receivers share one copy-on-write view of the frame
+// instead of a deep clone each.
+func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration) {
+	srcNode := c.net.Node(src)
+	if srcNode == nil {
+		panic(fmt.Sprintf("channel: broadcast from unknown node %v", src))
+	}
+	geoms := c.geomsFor(src, srcNode)
+	if len(geoms) == 0 {
+		return
+	}
+	fc := f.Share()
+	for i := range geoms {
+		g := &geoms[i]
 		if c.trace != nil {
-			c.trace(src, id, f, delay, level)
+			c.trace(src, g.dst, f, g.delay, g.levelDB)
 		}
 		if c.rec != nil {
 			c.rec.Record(c.eng.Now(), obs.FrameEmit{
-				Src: src, Dst: id, Frame: f, Delay: delay, LevelDB: level,
+				Src: src, Dst: g.dst, Frame: f, Delay: g.delay, LevelDB: g.levelDB,
 			})
 		}
 		c.deliveries++
-		fc := f.Clone()
-		rxm := rx
-		c.eng.ScheduleIn(delay, sim.PriorityPHY, func() {
+		// Copy out of the cache entry before capturing: the cache slice
+		// may be rebuilt in place before the scheduled closures run.
+		rxm, level, syncable := g.rx, g.levelDB, g.syncable
+		c.eng.ScheduleIn(g.delay, sim.PriorityPHY, func() {
 			rxm.BeginArrival(fc, level, dur, syncable)
 		})
-		if model.SurfaceReflection {
-			// Two-ray extension: the surface-bounced copy arrives
-			// later and weaker, as pure interference (a real modem
-			// stays locked to the direct ray).
-			rDelay, rLevel := model.SurfacePath(srcNode.Pos, dstNode.Pos)
-			if rDelay > delay {
-				rc := f.Clone()
-				c.eng.ScheduleIn(rDelay, sim.PriorityPHY, func() {
-					rxm.BeginArrival(rc, rLevel, dur, false)
-				})
-			}
+		if g.surf {
+			sLevel := g.surfLevel
+			c.eng.ScheduleIn(g.surfDelay, sim.PriorityPHY, func() {
+				rxm.BeginArrival(fc, sLevel, dur, false)
+			})
 		}
 	}
 }

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+	"time"
+
+	"ewmac/internal/packet"
+	"ewmac/internal/sim"
+)
+
+// traceHash runs cfg once and folds every scheduled frame delivery
+// (source, destination, kind, sequence, timestamp, propagation delay,
+// received level, wire size) plus the final metric summary into one
+// FNV-64a digest. Two runs producing the same hash executed the same
+// transmissions at the same instants with the same outcomes — the
+// bit-identical-trace oracle every hot-path optimization is held to.
+func traceHash(t *testing.T, cfg Config) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	cfg.Instrument = &Instrumentation{
+		Trace: func(src, dst packet.NodeID, f *packet.Frame, delay time.Duration, levelDB float64) {
+			w64(uint64(src)<<32 | uint64(dst)<<16 | uint64(f.Kind))
+			w64(uint64(f.Seq))
+			w64(uint64(f.Timestamp))
+			w64(uint64(delay))
+			w64(math.Float64bits(levelDB))
+			w64(uint64(f.Bits()))
+		},
+		RxTap: func(now sim.Time, node packet.NodeID, f *packet.Frame) {
+			w64(uint64(now))
+			w64(uint64(node)<<16 | uint64(f.Kind))
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("traceHash run: %v", err)
+	}
+	s := res.Summary
+	w64(math.Float64bits(s.ThroughputKbps))
+	w64(math.Float64bits(s.DeliveryRatio))
+	w64(math.Float64bits(s.MeanPowerMW))
+	w64(uint64(s.ExecutionTime))
+	w64(s.OverheadBits)
+	w64(s.MAC.DeliveredPackets)
+	w64(s.PHY.Collisions)
+	return h.Sum64()
+}
+
+// goldenStaticConfig is the fixed no-fault static-topology scenario
+// whose trace hash is pinned across commits.
+func goldenStaticConfig(p Protocol) Config {
+	cfg := Default(p)
+	cfg.Nodes = 24
+	cfg.Sinks = 2
+	cfg.MobileFraction = 0
+	cfg.SimTime = 60 * time.Second
+	cfg.Seed = 7
+	return cfg
+}
+
+// goldenMobileConfig exercises the mobility path (geometry cache
+// invalidation every step) in the same pinned way.
+func goldenMobileConfig() Config {
+	cfg := Default(ProtocolEWMAC)
+	cfg.Nodes = 20
+	cfg.Sinks = 2
+	cfg.SimTime = 45 * time.Second
+	cfg.MobileFraction = 0.5
+	cfg.CurrentMS = 1.5
+	cfg.Seed = 11
+	return cfg
+}
+
+// goldenStaticHashes pins the exact event trace of the no-fault
+// static-topology scenario per protocol, captured before the hot-path
+// overhaul (pooled scheduler, geometry cache, copy-on-write frames).
+// A mismatch means an "optimization" changed simulation behaviour.
+var goldenStaticHashes = map[Protocol]uint64{
+	ProtocolSFAMA: 0xc55ae16771c274d3,
+	ProtocolROPA:  0x8d7f2372bd7587a5,
+	ProtocolCSMAC: 0xb1dc385203bfdff1,
+	ProtocolEWMAC: 0x2c20421d03385755,
+}
+
+// goldenMobileHash pins the mobile-topology trace the same way; it
+// exercises the geometry-cache invalidation path every mobility step.
+const goldenMobileHash = 0xd6efd49bfc39cf47
+
+// TestGoldenTraceHash holds every optimized run to the trace recorded
+// by the reference implementation.
+func TestGoldenTraceHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, p := range Protocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			if got, want := traceHash(t, goldenStaticConfig(p)), goldenStaticHashes[p]; got != want {
+				t.Errorf("static %s trace hash = %#016x, want pinned %#016x", p, got, want)
+			}
+		})
+	}
+	t.Run("mobile-ewmac", func(t *testing.T) {
+		t.Parallel()
+		if got := traceHash(t, goldenMobileConfig()); got != uint64(goldenMobileHash) {
+			t.Errorf("mobile trace hash = %#016x, want pinned %#016x", got, uint64(goldenMobileHash))
+		}
+	})
+}
+
+// TestTraceHashReproducible: the same seed must replay bit-identically.
+func TestTraceHashReproducible(t *testing.T) {
+	cfg := goldenStaticConfig(ProtocolEWMAC)
+	cfg.SimTime = 30 * time.Second
+	if a, b := traceHash(t, cfg), traceHash(t, cfg); a != b {
+		t.Errorf("two runs of one seed diverged: %#016x vs %#016x", a, b)
+	}
+}
+
+// TestGeometryCacheBitIdentical: force-disabling the geometry cache
+// must not change a single event, static or mobile.
+func TestGeometryCacheBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	static := goldenStaticConfig(ProtocolEWMAC)
+	static.SimTime = 40 * time.Second
+	mobile := goldenMobileConfig()
+	mobile.SimTime = 30 * time.Second
+	for name, cfg := range map[string]Config{"static": static, "mobile": mobile} {
+		on := cfg
+		off := cfg
+		off.DisableGeometryCache = true
+		if a, b := traceHash(t, on), traceHash(t, off); a != b {
+			t.Errorf("%s: cache-on hash %#016x != cache-off hash %#016x", name, a, b)
+		}
+	}
+}
+
+// TestGoldenHashPrint logs the current hashes; used to (re)pin the
+// golden constants when scenarios legitimately change.
+func TestGoldenHashPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, p := range Protocols {
+		t.Logf("static %-6s %#016x", p, traceHash(t, goldenStaticConfig(p)))
+	}
+	t.Logf("mobile ewmac  %#016x", traceHash(t, goldenMobileConfig()))
+}

@@ -118,6 +118,12 @@ type Config struct {
 	// MACs are hardened automatically: probing is enabled and EW-MAC
 	// gets a stale-delay-table bound unless one was set explicitly.
 	Faults *fault.Scenario
+	// DisableGeometryCache forces the channel to recompute pairwise
+	// geometry on every broadcast instead of serving the epoch-validated
+	// cache. Outputs are bit-identical either way (the determinism tests
+	// assert it); the knob exists for those tests and for isolating the
+	// cache when profiling.
+	DisableGeometryCache bool
 	// Observe configures the unified observability layer (structured
 	// event tracing, time-series sampling, run reports); nil disables.
 	Observe *Observe
@@ -228,6 +234,9 @@ func Run(cfg Config) (*Result, error) {
 	ch, err := channel.New(eng, net)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.DisableGeometryCache {
+		ch.SetCacheEnabled(false)
 	}
 	ro := newRunObs(cfg)
 	if ro.rec != nil {
@@ -456,6 +465,13 @@ func buildProtocol(cfg Config, mcfg mac.Config) (mac.Protocol, error) {
 // The result is deterministic: per-seed outcomes do not depend on
 // scheduling, and the average is order-independent by construction
 // (summaries are collected in seed order).
+// runGate bounds the simulation runs executing at once across the whole
+// process. Concurrent sweeps (figures × x-values × protocols × seeds)
+// all funnel through this one GOMAXPROCS-sized gate, so nested parallel
+// layers fan out freely without oversubscribing the CPUs the way
+// stacked per-call semaphores would.
+var runGate = make(chan struct{}, runtime.GOMAXPROCS(0))
+
 func RunMean(cfg Config, seeds []int64) (metrics.Summary, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{cfg.Seed}
@@ -463,13 +479,12 @@ func RunMean(cfg Config, seeds []int64) (metrics.Summary, error) {
 	runs := make([]metrics.Summary, len(seeds))
 	errs := make([]error, len(seeds))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
 	for i, s := range seeds {
 		wg.Add(1)
 		go func(i int, seed int64) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			runGate <- struct{}{}
+			defer func() { <-runGate }()
 			c := cfg
 			c.Seed = seed
 			r, err := Run(c)

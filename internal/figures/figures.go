@@ -6,8 +6,10 @@ package figures
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"ewmac/internal/experiment"
@@ -21,8 +23,15 @@ type Options struct {
 	// SimTime overrides the per-run simulated duration (default: the
 	// paper's 300 s).
 	SimTime time.Duration
-	// Progress, if non-nil, receives one line per completed data point.
+	// Progress, if non-nil, receives one line per data point. Points run
+	// concurrently, so lines are emitted during final table assembly, in
+	// deterministic x-ascending, protocol-column order.
 	Progress func(string)
+	// Workers bounds how many (x-value × protocol) points of one sweep
+	// are in flight at once (0 = GOMAXPROCS, 1 = serial). Results are
+	// identical for any value: each point owns an independent engine and
+	// the table is assembled in a fixed order after all points finish.
+	Workers int
 }
 
 func (o *Options) applyDefaults() {
@@ -32,6 +41,13 @@ func (o *Options) applyDefaults() {
 	if o.SimTime <= 0 {
 		o.SimTime = 300 * time.Second
 	}
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Table is one reproduced figure: X values against one Y series per
@@ -106,27 +122,52 @@ func sweep(id, title, xlabel, ylabel string, xs []float64, opts Options,
 		Y:         make(map[experiment.Protocol][]float64),
 	}
 	sort.Float64s(t.X)
-	for _, x := range t.X {
-		// The S-FAMA baseline is computed first for ratio metrics.
-		cfg := point(experiment.ProtocolSFAMA, x)
-		cfg.SimTime = opts.SimTime
-		base, err := experiment.RunMean(cfg, opts.Seeds)
-		if err != nil {
+
+	// Fan every (x-value × protocol) point out to a bounded worker pool.
+	// Each point runs with its own engines, so results are independent of
+	// completion order; determinism comes from assembling the table (and
+	// computing the S-FAMA-relative reductions) afterwards in fixed
+	// x-ascending, protocol-column order.
+	np := len(t.Protocols)
+	sums := make([]metrics.Summary, len(t.X)*np)
+	errs := make([]error, len(t.X)*np)
+	idx := func(xi, pi int) int { return xi*np + pi }
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	for xi := range t.X {
+		for pi := range t.Protocols {
+			wg.Add(1)
+			go func(xi, pi int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cfg := point(t.Protocols[pi], t.X[xi])
+				cfg.SimTime = opts.SimTime
+				sums[idx(xi, pi)], errs[idx(xi, pi)] = experiment.RunMean(cfg, opts.Seeds)
+			}(xi, pi)
+		}
+	}
+	wg.Wait()
+
+	spi := 0
+	for pi, p := range t.Protocols {
+		if p == experiment.ProtocolSFAMA {
+			spi = pi
+		}
+	}
+	for xi, x := range t.X {
+		// The S-FAMA baseline anchors the ratio metrics at this x; its
+		// error is reported first so failure messages do not depend on
+		// which worker lost the race.
+		if err := errs[idx(xi, spi)]; err != nil {
 			return nil, fmt.Errorf("figures %s: baseline at %v: %w", id, x, err)
 		}
-		for _, p := range t.Protocols {
-			var sum metrics.Summary
-			if p == experiment.ProtocolSFAMA {
-				sum = base
-			} else {
-				cfg := point(p, x)
-				cfg.SimTime = opts.SimTime
-				sum, err = experiment.RunMean(cfg, opts.Seeds)
-				if err != nil {
-					return nil, fmt.Errorf("figures %s: %s at %v: %w", id, p, x, err)
-				}
+		base := sums[idx(xi, spi)]
+		for pi, p := range t.Protocols {
+			if err := errs[idx(xi, pi)]; err != nil {
+				return nil, fmt.Errorf("figures %s: %s at %v: %w", id, p, x, err)
 			}
-			t.Y[p] = append(t.Y[p], reduce(sum, base))
+			t.Y[p] = append(t.Y[p], reduce(sums[idx(xi, pi)], base))
 			if opts.Progress != nil {
 				opts.Progress(fmt.Sprintf("%s: %s x=%g y=%.4f", id, p.DisplayName(), x, t.Y[p][len(t.Y[p])-1]))
 			}

@@ -469,7 +469,7 @@ func (b *Base) SendAt(t sim.Time, f *packet.Frame, onErr func(error)) {
 // drift a peer's stamp can place a deadline behind the present, and
 // the graceful degradation is a timer that fires at once, not a
 // panicking engine.
-func (b *Base) ScheduleClamped(t sim.Time, prio sim.Priority, fn func()) *sim.Handle {
+func (b *Base) ScheduleClamped(t sim.Time, prio sim.Priority, fn func()) sim.Handle {
 	if now := b.cfg.Engine.Now(); t.Before(now) {
 		t = now
 	}

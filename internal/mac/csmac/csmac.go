@@ -59,7 +59,7 @@ func (o *Options) applyDefaults() {
 
 type stealState struct {
 	pkt     mac.AppPacket
-	timeout *sim.Handle
+	timeout sim.Handle
 }
 
 // MAC is the CS-MAC protocol.
@@ -245,9 +245,7 @@ func (m *MAC) abort(st *stealState, failed bool) {
 		m.CountersRef().RetransmittedBits += uint64(st.pkt.Bits)
 		m.recordExtra(st.pkt.Dst, obs.ExtraAbort, "steal-unacked")
 	}
-	if st.timeout != nil {
-		st.timeout.Cancel()
-	}
+	st.timeout.Cancel()
 	m.steal = nil
 	m.SetHold(m.Engine().Now())
 }
@@ -296,9 +294,7 @@ func (m *MAC) StealActive() bool { return m.steal != nil }
 // steal.
 func (m *MAC) OnRestart() {
 	if m.steal != nil {
-		if m.steal.timeout != nil {
-			m.steal.timeout.Cancel()
-		}
+		m.steal.timeout.Cancel()
 		m.steal = nil
 	}
 }

@@ -70,7 +70,7 @@ type extraAttempt struct {
 	target  packet.NodeID
 	pkt     mac.AppPacket
 	phase   extraPhase
-	timeout *sim.Handle
+	timeout sim.Handle
 }
 
 // grantedExtra is the receiver-side record of an extra grant.
@@ -318,9 +318,7 @@ func (m *MAC) abortExtra(att *extraAttempt) {
 	if m.extra != att {
 		return
 	}
-	if att.timeout != nil {
-		att.timeout.Cancel()
-	}
+	att.timeout.Cancel()
 	m.extra = nil
 	m.SetHold(m.Engine().Now()) // release the base engine
 }
@@ -423,9 +421,7 @@ func (m *MAC) onEXC(f *packet.Frame) {
 		m.abortExtra(att)
 		return
 	}
-	if att.timeout != nil {
-		att.timeout.Cancel()
-	}
+	att.timeout.Cancel()
 	att.phase = phaseGranted
 
 	data := m.NewFrame(packet.KindEXData, att.target)
@@ -488,9 +484,7 @@ func (m *MAC) onEXAck(f *packet.Frame) {
 	if !m.CompleteHead(att.pkt.Origin, att.pkt.Seq) {
 		m.CompleteBySeq(att.pkt.Origin, att.pkt.Seq)
 	}
-	if att.timeout != nil {
-		att.timeout.Cancel()
-	}
+	att.timeout.Cancel()
 	m.extra = nil
 	m.SetHold(m.Engine().Now())
 }
@@ -512,9 +506,7 @@ func (m *MAC) ClearAtNeighborsForTest(sendT sim.Time, dur time.Duration, target 
 // extra attempt and any grant it issued.
 func (m *MAC) OnRestart() {
 	if m.extra != nil {
-		if m.extra.timeout != nil {
-			m.extra.timeout.Cancel()
-		}
+		m.extra.timeout.Cancel()
 		m.extra = nil
 	}
 	m.granted = nil

@@ -57,7 +57,7 @@ type rtaState struct {
 	target  packet.NodeID
 	pkt     mac.AppPacket
 	granted bool
-	timeout *sim.Handle
+	timeout sim.Handle
 }
 
 // appendReq is the primary sender's record of a pending RTA.
@@ -281,9 +281,7 @@ func (m *MAC) abort(st *rtaState) {
 	if m.pending != st {
 		return
 	}
-	if st.timeout != nil {
-		st.timeout.Cancel()
-	}
+	st.timeout.Cancel()
 	m.pending = nil
 	m.SetHold(m.Engine().Now())
 }
@@ -344,9 +342,7 @@ func (m *MAC) onGrant(f *packet.Frame) {
 		return
 	}
 	st.granted = true
-	if st.timeout != nil {
-		st.timeout.Cancel()
-	}
+	st.timeout.Cancel()
 	data := m.NewFrame(packet.KindEXData, st.target)
 	data.DataBits = st.pkt.Bits
 	data.Seq = st.pkt.Seq
@@ -395,9 +391,7 @@ func (m *MAC) PendingRTA() bool { return m.pending != nil }
 // RTA attempt and any appended-request it promised to serve.
 func (m *MAC) OnRestart() {
 	if m.pending != nil {
-		if m.pending.timeout != nil {
-			m.pending.timeout.Cancel()
-		}
+		m.pending.timeout.Cancel()
 		m.pending = nil
 	}
 	m.request = nil

@@ -166,6 +166,11 @@ type Frame struct {
 	// GeneratedAt is the simulation time the payload was created, used
 	// for latency accounting; meaningful on data kinds only.
 	GeneratedAt time.Duration
+
+	// shared marks a frame handed to multiple consumers (every receiver
+	// of one broadcast). A shared frame is read-only by contract;
+	// Mutable gives would-be writers a private deep copy.
+	shared bool
 }
 
 // ControlBits is the base wire size of a control frame per the paper's
@@ -203,15 +208,38 @@ func (f *Frame) String() string {
 	return fmt.Sprintf("%s %s→%s seq=%d bits=%d", f.Kind, f.Src, f.Dst, f.Seq, f.Bits())
 }
 
-// Clone returns a deep copy; the channel hands each receiver its own
-// copy so a receiver mutating piggybacked state cannot corrupt others.
+// Clone returns a deep, exclusively-owned copy.
 func (f *Frame) Clone() *Frame {
 	c := *f
+	c.shared = false
 	if f.Neighbors != nil {
 		c.Neighbors = make([]NeighborInfo, len(f.Neighbors))
 		copy(c.Neighbors, f.Neighbors)
 	}
 	return &c
+}
+
+// Share returns a copy-on-write view of f: a shallow copy (the
+// Neighbors backing array is shared) flagged read-only. The channel
+// hands one shared view per broadcast to every receiver instead of
+// deep-cloning per receiver; receivers by contract never mutate
+// delivered frames, and any future writer must go through Mutable.
+func (f *Frame) Share() *Frame {
+	c := *f
+	c.shared = true
+	return &c
+}
+
+// Shared reports whether f is a read-only shared view.
+func (f *Frame) Shared() bool { return f.shared }
+
+// Mutable returns f itself when exclusively owned, or a private deep
+// copy when f is shared — the write half of the copy-on-write contract.
+func (f *Frame) Mutable() *Frame {
+	if !f.shared {
+		return f
+	}
+	return f.Clone()
 }
 
 // Validate reports structural problems that indicate protocol bugs.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -27,87 +26,84 @@ const (
 // engine's current time.
 var ErrScheduleInPast = errors.New("sim: event scheduled in the past")
 
-// Handle identifies a scheduled event and allows cancelling it.
+// Handle identifies a scheduled event and allows cancelling it. It is a
+// small value (copy freely); the zero Handle refers to no event, and
+// Cancel/Pending on it are safe no-ops. Events are pooled and recycled
+// after execution, so a Handle carries the generation it was issued
+// under — operations on a Handle whose event has since been recycled
+// are no-ops, never misfires against the event's new occupant.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the event from running. Cancelling an already-executed
 // or already-cancelled event is a no-op. Cancel reports whether the event
-// was still pending.
-func (h *Handle) Cancel() bool {
-	if h == nil || h.ev == nil || h.ev.cancelled || h.ev.done {
+// was still pending. The event's slot stays in the queue until it is
+// popped or reclaimed by lazy compaction.
+func (h Handle) Cancel() bool {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.cancelled {
 		return false
 	}
-	h.ev.cancelled = true
-	h.ev.fn = nil
+	ev.cancelled = true
+	ev.fn = nil
+	e := ev.eng
+	e.live--
+	e.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event is still waiting to run.
-func (h *Handle) Pending() bool {
-	return h != nil && h.ev != nil && !h.ev.cancelled && !h.ev.done
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.cancelled
 }
 
+// event is a pooled queue entry. gen is bumped every time the entry is
+// recycled, invalidating outstanding Handles.
 type event struct {
 	at        Time
 	prio      Priority
 	seq       uint64
+	gen       uint64
 	fn        func()
+	eng       *Engine
 	cancelled bool
-	done      bool
-	index     int
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess is the total order events execute in: time, then priority,
+// then scheduling sequence. seq is unique, so the order is strict — the
+// execution sequence cannot depend on heap layout or compaction.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic(fmt.Sprintf("sim: eventHeap.Push got %T, want *event", x))
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// compactMin is the queue size below which cancelled entries are left
+// for Run to discard; compacting tiny queues costs more than it saves.
+const compactMin = 64
 
 // Engine is a deterministic discrete-event scheduler.
 type Engine struct {
-	now      Time
-	events   eventHeap
+	now    Time
+	events []*event // binary min-heap ordered by eventLess
+	free   []*event // recycled entries; schedule pops from here first
+	// live counts queued events that are neither cancelled nor executed.
+	live     int
 	seq      uint64
 	executed uint64
 	stopped  bool
 	seed     int64
 	streams  map[string]*RNG
-	horizon  Time // 0 means unbounded
+	// lastStream memoizes the most recent RNG lookup so hot paths that
+	// re-request the same named stream skip the map.
+	lastStream *RNG
+	horizon    Time // 0 means unbounded
 	// wallAccum / runStart track wall-clock time spent inside Run for
 	// LoopStats. They are touched only at Run entry/exit, never in the
 	// per-event loop, so instrumentation costs the hot path nothing.
@@ -123,9 +119,13 @@ type LoopStats struct {
 	Now Time
 	// Executed counts events run since engine construction.
 	Executed uint64
-	// Pending is the current event-queue depth (including cancelled
-	// events not yet discarded).
+	// Pending is the number of live (not cancelled, not yet executed)
+	// events in the queue.
 	Pending int
+	// PendingRaw is the raw queue depth including cancelled entries not
+	// yet discarded; PendingRaw - Pending is the reclaimable slack the
+	// lazy compactor watches.
+	PendingRaw int
 	// Wall is cumulative wall-clock time spent inside Run.
 	Wall time.Duration
 }
@@ -137,7 +137,13 @@ func (e *Engine) LoopStats() LoopStats {
 	if e.inRun {
 		wall += time.Since(e.runStart)
 	}
-	return LoopStats{Now: e.now, Executed: e.executed, Pending: len(e.events), Wall: wall}
+	return LoopStats{
+		Now:        e.now,
+		Executed:   e.executed,
+		Pending:    e.live,
+		PendingRaw: len(e.events),
+		Wall:       wall,
+	}
 }
 
 // NewEngine returns an engine whose RNG streams all derive from seed.
@@ -157,27 +163,133 @@ func (e *Engine) Seed() int64 { return e.seed }
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports how many events are queued (including cancelled ones
-// that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many live events are waiting to run. Cancelled
+// entries still occupying queue slots are not counted; PendingRaw
+// reports the raw depth.
+func (e *Engine) Pending() int { return e.live }
+
+// PendingRaw reports the raw queue depth, including cancelled entries
+// that have not yet been discarded or compacted away.
+func (e *Engine) PendingRaw() int { return len(e.events) }
+
+// alloc takes an entry from the free list, or mints one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{eng: e}
+}
+
+// recycle invalidates outstanding handles and returns the entry to the
+// free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cancelled = false
+	e.free = append(e.free, ev)
+}
+
+// push inserts ev into the heap (sift-up).
+func (e *Engine) push(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// pop removes and returns the earliest event (sift-down).
+func (e *Engine) pop() *event {
+	h := e.events
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	e.siftDown(0)
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			small = r
+		}
+		if !eventLess(h[small], h[i]) {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// maybeCompact rebuilds the heap without its cancelled entries once
+// they outnumber live ones. Compaction is invisible to execution order:
+// events are totally ordered by (at, prio, seq), so the pop sequence
+// after a rebuild is identical to the sequence without one.
+func (e *Engine) maybeCompact() {
+	n := len(e.events)
+	if n < compactMin || 2*(n-e.live) <= n {
+		return
+	}
+	h := e.events
+	out := h[:0]
+	for _, ev := range h {
+		if ev.cancelled {
+			e.recycle(ev)
+		} else {
+			out = append(out, ev)
+		}
+	}
+	for i := len(out); i < n; i++ {
+		h[i] = nil
+	}
+	e.events = out
+	for i := len(out)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
 
 // ScheduleAt queues fn to run at instant at with the given priority and
 // returns a cancellable handle. It returns ErrScheduleInPast if at is
-// earlier than Now.
-func (e *Engine) ScheduleAt(at Time, prio Priority, fn func()) (*Handle, error) {
+// earlier than Now. Steady state (pool warm, queue capacity reached) it
+// performs no allocations.
+func (e *Engine) ScheduleAt(at Time, prio Priority, fn func()) (Handle, error) {
 	if at < e.now {
-		return nil, fmt.Errorf("%w: at %v, now %v", ErrScheduleInPast, at, e.now)
+		return Handle{}, fmt.Errorf("%w: at %v, now %v", ErrScheduleInPast, at, e.now)
 	}
-	ev := &event{at: at, prio: prio, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.prio = prio
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Handle{ev: ev}, nil
+	e.live++
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen}, nil
 }
 
 // ScheduleIn queues fn to run d after Now. Negative d is clamped to zero
 // so callers computing residual delays do not have to special-case
 // rounding. It panics only if the internal invariant is violated.
-func (e *Engine) ScheduleIn(d time.Duration, prio Priority, fn func()) *Handle {
+func (e *Engine) ScheduleIn(d time.Duration, prio Priority, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -191,7 +303,7 @@ func (e *Engine) ScheduleIn(d time.Duration, prio Priority, fn func()) *Handle {
 
 // MustScheduleAt is ScheduleAt for callers that have already validated
 // the instant; it panics on ErrScheduleInPast.
-func (e *Engine) MustScheduleAt(at Time, prio Priority, fn func()) *Handle {
+func (e *Engine) MustScheduleAt(at Time, prio Priority, fn func()) Handle {
 	h, err := e.ScheduleAt(at, prio, fn)
 	if err != nil {
 		panic(err)
@@ -223,17 +335,15 @@ func (e *Engine) Run() uint64 {
 	}
 	var n uint64
 	for len(e.events) > 0 && !e.stopped {
-		ev, ok := heap.Pop(&e.events).(*event)
-		if !ok {
-			panic("sim: heap returned non-event")
-		}
+		ev := e.pop()
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		if e.horizon != 0 && ev.at > e.horizon {
 			// Past the horizon: put the event back and stop so a later
 			// Run/RunUntil call can resume from here.
-			heap.Push(&e.events, ev)
+			e.push(ev)
 			e.now = e.horizon
 			break
 		}
@@ -241,9 +351,12 @@ func (e *Engine) Run() uint64 {
 			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, e.now))
 		}
 		e.now = ev.at
-		ev.done = true
 		fn := ev.fn
-		ev.fn = nil
+		// Recycle before running: the heap no longer references the
+		// entry, outstanding Handles are invalidated by the gen bump,
+		// and fn may immediately reuse the slot for a new event.
+		e.recycle(ev)
+		e.live--
 		e.executed++
 		n++
 		fn()

@@ -235,7 +235,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		count := int(n%32) + 1
 		e := NewEngine(1)
 		ran := make([]bool, count)
-		handles := make([]*Handle, count)
+		handles := make([]Handle, count)
 		for i := 0; i < count; i++ {
 			i := i
 			handles[i] = e.ScheduleIn(time.Duration(i+1)*time.Millisecond, PriorityMAC, func() { ran[i] = true })

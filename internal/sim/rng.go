@@ -32,8 +32,15 @@ func (r *RNG) ExpFloat64Rate(rate float64) float64 {
 
 // RNG returns the stream with the given name, creating it on first use.
 // The stream's seed is a stable function of the engine seed and the name.
+// A single-entry memo short-circuits the map lookup for hot paths that
+// re-request the same stream; long-lived callers should still cache the
+// returned handle at construction.
 func (e *Engine) RNG(name string) *RNG {
+	if r := e.lastStream; r != nil && r.name == name {
+		return r
+	}
 	if r, ok := e.streams[name]; ok {
+		e.lastStream = r
 		return r
 	}
 	r := &RNG{
@@ -41,6 +48,7 @@ func (e *Engine) RNG(name string) *RNG {
 		name: name,
 	}
 	e.streams[name] = r
+	e.lastStream = r
 	return r
 }
 
