@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -71,9 +72,14 @@ func run() int {
 		return 1
 	}
 
+	chRes, err := benchChannel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
 	results := []result{
 		benchEngine(),
-		benchChannel(),
+		chRes,
 	}
 	if !*quick {
 		results = append(results,
@@ -111,18 +117,16 @@ func run() int {
 	return 0
 }
 
+// writeResults lands the JSON atomically: a crash mid-write must not
+// leave a torn baseline for a later -compare to misparse.
 func writeResults(path string, results []result) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
-		f.Close()
 		return err
 	}
-	return f.Close()
+	return obs.WriteFileAtomic(path, buf.Bytes())
 }
 
 // compareResults prints per-benchmark deltas of the current run against
@@ -212,8 +216,9 @@ func benchEngine() result {
 // benchChannel mirrors internal/channel's BenchmarkChannelBroadcast:
 // one op broadcasts a control frame to a static 40-node deployment and
 // drains the scheduled arrivals — the geometry-cache + copy-on-write
-// hot path.
-func benchChannel() result {
+// hot path. Setup failures are reported as errors, not panics: a bench
+// harness must exit with a diagnosable status.
+func benchChannel() (result, error) {
 	const n = 40
 	eng := sim.NewEngine(1)
 	model := acoustic.DefaultModel()
@@ -227,11 +232,11 @@ func benchChannel() result {
 	region := vec.Box{Min: vec.V3{X: -1e4, Y: -1e4, Z: 0}, Max: vec.V3{X: 1e4, Y: 1e4, Z: 1e4}}
 	net, err := topology.NewNetwork(region, model, nodes)
 	if err != nil {
-		panic(err)
+		return result{}, fmt.Errorf("channel bench topology: %w", err)
 	}
 	ch, err := channel.New(eng, net)
 	if err != nil {
-		panic(err)
+		return result{}, fmt.Errorf("channel bench: %w", err)
 	}
 	for i := range nodes {
 		m, err := phy.NewModem(phy.Config{
@@ -239,10 +244,10 @@ func benchChannel() result {
 			Medium: ch, Energy: energy.DefaultProfile(),
 		})
 		if err != nil {
-			panic(err)
+			return result{}, fmt.Errorf("channel bench modem %d: %w", i+1, err)
 		}
 		if err := ch.Register(m); err != nil {
-			panic(err)
+			return result{}, fmt.Errorf("channel bench: %w", err)
 		}
 	}
 	f := &packet.Frame{
@@ -250,15 +255,22 @@ func benchChannel() result {
 		Neighbors: []packet.NeighborInfo{{ID: 2, Delay: time.Second}},
 	}
 	dur := 10 * time.Millisecond
+	var benchErr error
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			ch.Broadcast(1, f, dur)
+			if err := ch.Broadcast(1, f, dur); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
 			eng.Run()
 		}
 	})
-	return toResult("channel/broadcast-40", br)
+	if benchErr != nil {
+		return result{}, fmt.Errorf("channel bench broadcast: %w", benchErr)
+	}
+	return toResult("channel/broadcast-40", br), nil
 }
 
 // benchScenario measures a short Table 2 EW-MAC run; observe toggles

@@ -3,6 +3,15 @@
 // table2, fig6, fig7, fig8, fig9a, fig9b, fig10a, fig10b, fig11.
 //
 //	figures -seeds 3 -sim 300s -workers 8 -csv out/ fig6 fig11
+//	figures -resume run.manifest -csv out/      # checkpoint + resume
+//	figures -deadline 10m -max-events 200e6 -retries 2
+//
+// With -resume, every finished sweep point is journaled to the given
+// manifest; re-running the same command after an interruption (even
+// SIGKILL) skips the completed points and produces bit-identical
+// tables. -deadline/-max-events bound each point's run; points that
+// exceed the budget are retried up to -retries times with a doubled
+// budget, then quarantined as NaN cells instead of aborting the run.
 package main
 
 import (
@@ -16,6 +25,9 @@ import (
 	"time"
 
 	"ewmac/internal/figures"
+	"ewmac/internal/obs"
+	"ewmac/internal/runner"
+	"ewmac/internal/sim"
 )
 
 func main() {
@@ -29,10 +41,21 @@ func run() int {
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 		workers = flag.Int("workers", 0, "max concurrent sweep points (0 = GOMAXPROCS, 1 = serial)")
+
+		resume    = flag.String("resume", "", "checkpoint manifest path: journal finished points and skip them on re-run")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget per sweep point (0 = unbounded)")
+		maxEvents = flag.Uint64("max-events", 0, "simulation event budget per sweep point (0 = unbounded)")
+		retries   = flag.Int("retries", 1, "retries for budget-exceeded points, each with a doubled budget")
 	)
 	flag.Parse()
 
-	opts := figures.Options{SimTime: *simTime, Workers: *workers}
+	opts := figures.Options{
+		SimTime: *simTime,
+		Workers: *workers,
+		Budget:  sim.Budget{Deadline: *deadline, MaxEvents: *maxEvents},
+		Retries: *retries,
+		Backoff: 100 * time.Millisecond,
+	}
 	for s := int64(1); s <= int64(*seeds); s++ {
 		opts.Seeds = append(opts.Seeds, s)
 	}
@@ -43,6 +66,23 @@ func run() int {
 			defer progressMu.Unlock()
 			fmt.Fprintln(os.Stderr, "  "+line)
 		}
+	}
+
+	if *resume != "" {
+		// The fingerprint covers exactly the inputs that determine point
+		// results; budget/worker/retry settings are free to change between
+		// the interrupted run and the resume.
+		fp := fmt.Sprintf("figures/v1|seeds=%d|sim=%s", *seeds, simTime.String())
+		m, err := runner.OpenManifest(*resume, fp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			return 1
+		}
+		defer m.Close()
+		if n := m.Loaded(); n > 0 && !*quiet {
+			fmt.Fprintf(os.Stderr, "  resuming %s: %d points already done\n", *resume, n)
+		}
+		opts.Manifest = m
 	}
 
 	want := map[string]bool{}
@@ -95,6 +135,7 @@ func run() int {
 		}(i)
 	}
 
+	quarantined := 0
 	for i, fg := range selected {
 		<-done[i]
 		r := results[i]
@@ -104,17 +145,33 @@ func run() int {
 		}
 		fmt.Println(r.t.Render())
 		fmt.Fprintf(os.Stderr, "  (%s took %v)\n", fg.id, r.took.Truncate(time.Millisecond))
+		if st := r.t.Stats; st.Resumed > 0 || st.Retries > 0 || st.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "  (%s supervision: %d/%d done, %d resumed, %d retries, %d quarantined)\n",
+				fg.id, st.Completed, st.Points, st.Resumed, st.Retries, st.Quarantined)
+		}
+		if r.t.Failed != nil {
+			quarantined += r.t.Stats.Quarantined
+			for _, p := range r.t.Protocols {
+				for _, msg := range r.t.Failed[p] {
+					fmt.Fprintf(os.Stderr, "  WARNING %s %s: %s\n", fg.id, p.DisplayName(), msg)
+				}
+			}
+		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				return 1
 			}
 			path := filepath.Join(*csvDir, fg.id+".csv")
-			if err := os.WriteFile(path, []byte(r.t.CSV()), 0o644); err != nil {
+			if err := obs.WriteFileAtomic(path, []byte(r.t.CSV())); err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				return 1
 			}
 		}
+	}
+	if quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d point(s) quarantined; their cells are NaN\n", quarantined)
+		return 3
 	}
 	return 0
 }

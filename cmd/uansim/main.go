@@ -8,10 +8,20 @@
 //	uansim -proto ewmac -report run.json     # per-run report (JSON)
 //	uansim -proto ewmac -report run.prom     # same, Prometheus text
 //	uansim -proto ewmac -faults chaos.json   # fault-injection scenario
+//	uansim -deadline 5m -max-events 100e6    # budget + livelock watchdog
+//	uansim -resume run.manifest -proto all   # skip already-completed runs
+//
+// Every run executes under supervision: panics are reported with their
+// stack instead of crashing, -deadline/-max-events bound the run (with
+// -retries re-attempts at a doubled budget), and -resume journals
+// completed runs so a re-invocation skips them. Output files (-trace,
+// -timeseries, -report) are published atomically — an interrupted run
+// leaves the previous complete file, never a torn one.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +33,10 @@ import (
 	"ewmac"
 	"ewmac/internal/experiment"
 	"ewmac/internal/fault"
+	"ewmac/internal/metrics"
+	"ewmac/internal/obs"
+	"ewmac/internal/runner"
+	"ewmac/internal/sim"
 )
 
 func main() {
@@ -49,6 +63,11 @@ func run() int {
 		sample     = flag.Duration("sample", time.Second, "sampling period for -timeseries, in simulated time")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+
+		resume    = flag.String("resume", "", "checkpoint manifest path: journal finished runs and skip them on re-run")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget per run (0 = unbounded)")
+		maxEvents = flag.Uint64("max-events", 0, "simulation event budget per run (0 = unbounded)")
+		retries   = flag.Int("retries", 0, "retries for budget-exceeded runs, each with a doubled budget")
 	)
 	flag.Parse()
 
@@ -84,6 +103,22 @@ func run() int {
 		}
 	}
 
+	var manifest *runner.Manifest
+	if *resume != "" {
+		// The fingerprint pins every scenario input that determines the
+		// result; the protocol is part of each point's key, and budget
+		// settings may change freely between interrupted run and resume.
+		fp := fmt.Sprintf("uansim/v1|nodes=%d|sinks=%d|load=%g|bits=%d|side=%g|mobile=%g|sim=%s|seed=%d|faults=%s",
+			*nodes, *sinks, *load, *bits, *side, *mobile, simTime.String(), *seed, *faults)
+		m, err := runner.OpenManifest(*resume, fp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 1
+		}
+		defer m.Close()
+		manifest = m
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -114,32 +149,81 @@ func run() int {
 		cfg.Seed = *seed
 		cfg.Faults = scenario
 
-		obsCfg, closeObs, err := observeFor(*trace, *timeseries, *report, *sample)
+		obsCfg, commitObs, abortObs, err := observeFor(*trace, *timeseries, *report, *sample)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
 			return 1
 		}
 		cfg.Observe = obsCfg
 
-		res, runErr := ewmac.Run(cfg)
-		if err := closeObs(); err != nil {
+		// The run executes under the supervisor: panics surface as a
+		// quarantined record with a stack, budget aborts retry with a
+		// doubled budget, and with -resume a journaled completion is
+		// served without re-running.
+		var res *ewmac.Result
+		pf := func(_ runner.Key, b sim.Budget) (metrics.Summary, error) {
+			c := cfg
+			c.Budget = b
+			r, err := ewmac.Run(c)
+			if err != nil {
+				return metrics.Summary{}, err
+			}
+			res = r
+			return r.Summary, nil
+		}
+		rec, supErr := runner.Supervise(
+			runner.Key{Sweep: "uansim", Protocol: string(p), X: *load}, pf,
+			runner.Options{
+				Manifest: manifest,
+				Budget:   sim.Budget{Deadline: *deadline, MaxEvents: *maxEvents},
+				Retries:  *retries,
+				Backoff:  100 * time.Millisecond,
+				OnEvent:  func(line string) { fmt.Fprintln(os.Stderr, "  "+line) },
+			})
+
+		// Publish the observability files only for a freshly-executed
+		// run; a resumed or failed run must leave previous outputs
+		// intact rather than clobber them with empty files.
+		if rec.Resumed || rec.Status != runner.StatusDone {
+			abortObs()
+		} else if err := commitObs(); err != nil {
 			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
 			return 1
 		}
-		if runErr != nil {
-			fmt.Fprintf(os.Stderr, "uansim: %v\n", runErr)
+		if supErr != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", supErr)
 			return 1
 		}
-		if *report != "" {
+		if rec.Status != runner.StatusDone {
+			fmt.Fprintf(os.Stderr, "uansim: %s: %s\n", p.DisplayName(), rec.Error)
+			if rec.Stack != "" {
+				fmt.Fprint(os.Stderr, rec.Stack)
+			}
+			return 1
+		}
+
+		if *report != "" && res != nil {
+			if res.Report != nil {
+				res.Report.Supervision = &obs.SupervisionStats{
+					Attempts:     rec.Attempts,
+					Retries:      rec.Retries,
+					BudgetAborts: rec.BudgetAborts,
+					Resumed:      rec.Resumed,
+				}
+			}
 			if err := writeReport(*report, res.Report); err != nil {
 				fmt.Fprintf(os.Stderr, "uansim: report: %v\n", err)
 				return 1
 			}
 		}
-		s := res.Summary
-		fmt.Printf("%-8s %10.4f %8.1f %10.2f %9.1f %12d %9d\n",
+		s := *rec.Summary
+		fmt.Printf("%-8s %10.4f %8.1f %10.2f %9.1f %12d %9d",
 			p.DisplayName(), s.ThroughputKbps, 100*s.DeliveryRatio,
 			s.ExecutionTime.Seconds(), s.MeanPowerMW, s.OverheadBits, s.PHY.Collisions)
+		if rec.Resumed {
+			fmt.Print("  (resumed)")
+		}
+		fmt.Println()
 		if *verbose {
 			fmt.Printf("  generated=%d delivered=%d (extra=%d) acked=%d rts=%d cts=%d retrans=%d\n",
 				s.MAC.Generated, s.MAC.DeliveredPackets, s.MAC.ExtraDeliveredPackets,
@@ -150,9 +234,15 @@ func run() int {
 				fmt.Printf("  robustness: dropped=%d probes=%d impossible-rx=%d\n",
 					s.MAC.Dropped, s.MAC.Probes, s.MAC.ImpossibleRx)
 			}
-			fmt.Printf("  topology: mean degree=%.1f max pair delay=%v\n",
-				res.MeanDegree, res.MaxPairDelay.Truncate(time.Millisecond))
+			if res != nil {
+				fmt.Printf("  topology: mean degree=%.1f max pair delay=%v\n",
+					res.MeanDegree, res.MaxPairDelay.Truncate(time.Millisecond))
+			}
 			fmt.Printf("  fairness (Jain): %.3f\n", s.Fairness)
+			if rec.Retries > 0 || rec.BudgetAborts > 0 {
+				fmt.Printf("  supervision: attempts=%d retries=%d budget-aborts=%d\n",
+					rec.Attempts, rec.Retries, rec.BudgetAborts)
+			}
 		}
 	}
 
@@ -173,70 +263,74 @@ func run() int {
 }
 
 // observeFor builds the run's Observe section from the output flags.
-// The returned close function flushes and closes every opened file; it
-// is safe to call when nothing was opened.
-func observeFor(trace, timeseries, report string, sample time.Duration) (*experiment.Observe, func() error, error) {
+// Output files are staged atomically: commit publishes them (fsync +
+// rename), abort discards the staged content and leaves any previous
+// files untouched. Both are safe to call when nothing was opened.
+func observeFor(trace, timeseries, report string, sample time.Duration) (*experiment.Observe, func() error, func(), error) {
+	nop := func() error { return nil }
 	if trace == "" && timeseries == "" && report == "" {
-		return nil, func() error { return nil }, nil
+		return nil, nop, func() {}, nil
 	}
 	o := &experiment.Observe{SampleEvery: sample, Report: report != ""}
-	var closers []func() error
-	closeAll := func() error {
-		var first error
-		for _, c := range closers {
-			if err := c(); err != nil && first == nil {
-				first = err
+	var staged []*obs.AtomicFile
+	var flushes []func() error
+	commit := func() error {
+		for _, fl := range flushes {
+			if err := fl(); err != nil {
+				return err
 			}
 		}
-		return first
+		for _, a := range staged {
+			if err := a.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	abort := func() {
+		for _, a := range staged {
+			a.Abort()
+		}
 	}
 	open := func(path string) (*bufio.Writer, error) {
-		f, err := os.Create(path)
+		a, err := obs.CreateAtomic(path)
 		if err != nil {
 			return nil, err
 		}
-		w := bufio.NewWriter(f)
-		closers = append(closers, func() error {
-			if err := w.Flush(); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
-		})
+		staged = append(staged, a)
+		w := bufio.NewWriter(a)
+		flushes = append(flushes, w.Flush)
 		return w, nil
 	}
 	if trace != "" {
 		w, err := open(trace)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		o.Trace = w
 	}
 	if timeseries != "" {
 		w, err := open(timeseries)
 		if err != nil {
-			closeAll()
-			return nil, nil, err
+			abort()
+			return nil, nil, nil, err
 		}
 		o.TimeSeries = w
 	}
-	return o, closeAll, nil
+	return o, commit, abort, nil
 }
 
-// writeReport renders the run report to path, choosing the format by
-// extension: .json for indented JSON, anything else Prometheus text.
+// writeReport renders the run report and publishes it atomically,
+// choosing the format by extension: .json for indented JSON, anything
+// else Prometheus text.
 func writeReport(path string, rep *ewmac.RunReport) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+	var buf bytes.Buffer
 	if strings.HasSuffix(path, ".json") {
-		if err := rep.WriteJSON(f); err != nil {
+		if err := rep.WriteJSON(&buf); err != nil {
 			return err
 		}
-	} else if err := rep.WriteProm(f); err != nil {
+	} else if err := rep.WriteProm(&buf); err != nil {
 		return err
 	}
-	return f.Close()
+	return obs.WriteFileAtomic(path, buf.Bytes())
 }

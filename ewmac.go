@@ -33,6 +33,7 @@ import (
 	"ewmac/internal/figures"
 	"ewmac/internal/metrics"
 	"ewmac/internal/obs"
+	"ewmac/internal/sim"
 )
 
 // Protocol selects the MAC protocol under test.
@@ -56,6 +57,10 @@ var Protocols = experiment.Protocols
 // Config describes one simulation scenario (Table 2 of the paper plus
 // protocol options).
 type Config = experiment.Config
+
+// Budget bounds a run's execution (wall-clock deadline, event cap,
+// livelock watchdog); set Config.Budget to supervise a run.
+type Budget = sim.Budget
 
 // Result is one run's outcome: the metric summary plus topology
 // characteristics and raw per-node samples.

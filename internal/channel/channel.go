@@ -78,7 +78,16 @@ type Channel struct {
 
 	// Deliveries counts scheduled frame arrivals (per receiver).
 	deliveries uint64
+	// droppedUnknown counts broadcasts rejected because the source has
+	// no node in the topology.
+	droppedUnknown uint64
 }
+
+// ErrUnknownSource is returned by Broadcast when the transmitting node
+// is not part of the deployed topology. The transmission is dropped and
+// counted rather than crashing the run: a mis-wired harness should
+// surface as an observable error, not a panic inside the event loop.
+var ErrUnknownSource = errors.New("channel: broadcast from unknown source")
 
 var _ phy.Medium = (*Channel)(nil)
 
@@ -135,6 +144,10 @@ func (c *Channel) SetRecorder(r obs.Recorder) { c.rec = r }
 
 // Deliveries reports how many frame arrivals have been scheduled.
 func (c *Channel) Deliveries() uint64 { return c.deliveries }
+
+// DroppedUnknown reports how many broadcasts were dropped because their
+// source was not in the topology.
+func (c *Channel) DroppedUnknown() uint64 { return c.droppedUnknown }
 
 // buildGeoms computes the receiver list for srcNode into out (reused
 // between rebuilds), iterating in node-ID order — arrivals scheduled
@@ -209,14 +222,22 @@ func (c *Channel) geomsFor(src packet.NodeID, srcNode *topology.Node) []rxGeom {
 // computed from the current node positions (cached while the topology
 // is static). All receivers share one copy-on-write view of the frame
 // instead of a deep clone each.
-func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration) {
+func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration) error {
 	srcNode := c.net.Node(src)
 	if srcNode == nil {
-		panic(fmt.Sprintf("channel: broadcast from unknown node %v", src))
+		c.droppedUnknown++
+		if c.rec != nil {
+			c.rec.Record(c.eng.Now(), obs.Invariant{
+				Node:   src,
+				Check:  "channel.broadcast.src",
+				Detail: "transmission from node outside topology dropped",
+			})
+		}
+		return fmt.Errorf("%w: %v", ErrUnknownSource, src)
 	}
 	geoms := c.geomsFor(src, srcNode)
 	if len(geoms) == 0 {
-		return
+		return nil
 	}
 	fc := f.Share()
 	for i := range geoms {
@@ -243,6 +264,7 @@ func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duratio
 			})
 		}
 	}
+	return nil
 }
 
 // Modem returns the registered modem for id, or nil.

@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -361,5 +362,40 @@ func TestSurfaceReflectionCanCorrupt(t *testing.T) {
 	}
 	if got := len(recs[2].received) + recs[2].lost; got == 0 {
 		t.Error("frame 2→3 vanished entirely")
+	}
+}
+
+// TestBroadcastUnknownSourceDrops: a transmission from a node outside
+// the topology must be dropped with a counted, typed error — never a
+// panic in the event loop — and must not schedule any arrival.
+func TestBroadcastUnknownSourceDrops(t *testing.T) {
+	eng, ch, _, recs := lineNetwork(t, 0, 750)
+	f := &packet.Frame{Kind: packet.KindRTS, Src: 99, Dst: 1}
+	dur := f.TxDuration(acoustic.DefaultModel().BitRate())
+
+	err := ch.Broadcast(99, f, dur)
+	if !errors.Is(err, ErrUnknownSource) {
+		t.Fatalf("Broadcast from unknown node returned %v, want ErrUnknownSource", err)
+	}
+	if got := ch.DroppedUnknown(); got != 1 {
+		t.Errorf("DroppedUnknown = %d, want 1", got)
+	}
+	if got := ch.Deliveries(); got != 0 {
+		t.Errorf("dropped broadcast scheduled %d deliveries", got)
+	}
+	eng.RunUntil(sim.At(10 * time.Second))
+	for i, r := range recs {
+		if len(r.received) != 0 || r.lost != 0 {
+			t.Errorf("modem %d saw traffic from a dropped broadcast", i+1)
+		}
+	}
+
+	// A registered source still works after the drop.
+	ok := &packet.Frame{Kind: packet.KindRTS, Src: 1, Dst: 2}
+	if err := ch.Broadcast(1, ok, dur); err != nil {
+		t.Fatalf("valid broadcast failed after drop: %v", err)
+	}
+	if ch.Deliveries() == 0 {
+		t.Error("valid broadcast scheduled no deliveries")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -118,6 +119,14 @@ type Config struct {
 	// MACs are hardened automatically: probing is enabled and EW-MAC
 	// gets a stale-delay-table bound unless one was set explicitly.
 	Faults *fault.Scenario
+	// Budget bounds the run: wall-clock deadline, executed-event cap,
+	// and the livelock watchdog window (sim time frozen across that
+	// many events aborts the run). The zero Budget runs unbounded and
+	// bit-identically to earlier versions. When any bound is set and
+	// LivelockEvents is not, sim.DefaultLivelockEvents applies. An
+	// exhausted budget surfaces as an error wrapping
+	// sim.ErrBudgetExceeded.
+	Budget sim.Budget
 	// DisableGeometryCache forces the channel to recompute pairwise
 	// geometry on every broadcast instead of serving the epoch-validated
 	// cache. Outputs are bit-identical either way (the determinism tests
@@ -165,31 +174,61 @@ func Default(p Protocol) Config {
 	}
 }
 
-// Validate reports the first invalid field.
+// Validate reports every invalid field as one joined error, so a
+// mis-built config is fixable in a single pass instead of one
+// rejection at a time.
 func (c Config) Validate() error {
-	switch {
-	case c.Nodes <= 0:
-		return fmt.Errorf("experiment: %d nodes", c.Nodes)
-	case c.DataBits <= 0:
-		return fmt.Errorf("experiment: %d data bits", c.DataBits)
-	case c.SimTime <= c.Warmup:
-		return fmt.Errorf("experiment: sim time %v within warmup %v", c.SimTime, c.Warmup)
-	case c.RegionSide <= 0:
-		return fmt.Errorf("experiment: region side %v", c.RegionSide)
-	case c.OfferedLoadKbps < 0:
-		return fmt.Errorf("experiment: offered load %v", c.OfferedLoadKbps)
-	case c.MobilityStep <= 0:
-		return fmt.Errorf("experiment: mobility step %v", c.MobilityStep)
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("experiment: "+format, args...))
+	}
+	if c.Nodes <= 0 {
+		bad("%d nodes", c.Nodes)
+	}
+	if c.Sinks < 0 {
+		bad("%d sinks", c.Sinks)
+	}
+	if c.DataBits <= 0 {
+		bad("%d data bits", c.DataBits)
+	}
+	if c.SimTime <= c.Warmup {
+		bad("sim time %v within warmup %v", c.SimTime, c.Warmup)
+	}
+	if c.RegionSide <= 0 {
+		bad("region side %v", c.RegionSide)
+	}
+	if c.MobileFraction < 0 || c.MobileFraction > 1 {
+		bad("mobile fraction %v outside [0, 1]", c.MobileFraction)
+	}
+	if c.OfferedLoadKbps < 0 {
+		bad("offered load %v", c.OfferedLoadKbps)
+	}
+	if c.FixedBatch < 0 {
+		bad("fixed batch %d", c.FixedBatch)
+	}
+	if c.MobilityStep <= 0 {
+		bad("mobility step %v", c.MobilityStep)
+	}
+	if c.QueueMax < 0 {
+		bad("queue max %d", c.QueueMax)
+	}
+	if c.MaxRetries < 0 {
+		bad("max retries %d", c.MaxRetries)
+	}
+	if c.Budget.Deadline < 0 {
+		bad("budget deadline %v", c.Budget.Deadline)
 	}
 	switch c.Protocol {
 	case ProtocolEWMAC, ProtocolSFAMA, ProtocolROPA, ProtocolCSMAC, ProtocolSALOHA:
 	default:
-		return fmt.Errorf("experiment: unknown protocol %q", c.Protocol)
+		bad("unknown protocol %q", c.Protocol)
 	}
 	if c.Faults != nil {
-		return c.Faults.Validate()
+		if err := c.Faults.Validate(); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Result is one run's outcome.
@@ -221,6 +260,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.Budget.Enabled() {
+		b := cfg.Budget
+		if b.LivelockEvents == 0 {
+			b.LivelockEvents = sim.DefaultLivelockEvents
+		}
+		eng.SetBudget(b)
+	}
 	net, err := topology.Deploy(topology.DeployConfig{
 		Nodes:     cfg.Nodes,
 		Sinks:     cfg.Sinks,
@@ -379,6 +425,11 @@ func Run(cfg Config) (*Result, error) {
 	})
 
 	eng.RunUntil(endAt)
+	if berr := eng.BudgetErr(); berr != nil {
+		// The run was cut mid-stream; partial counters would be
+		// misleading, so the abort is the whole result.
+		return nil, fmt.Errorf("experiment: %s seed %d: %w", cfg.Protocol, cfg.Seed, berr)
+	}
 
 	samples := make([]metrics.NodeSample, 0, len(modems))
 	for i, m := range modems {
@@ -414,6 +465,32 @@ func Run(cfg Config) (*Result, error) {
 		PerNode:      samples,
 		Report:       rep,
 	}, nil
+}
+
+// PanicError is a panic recovered from a simulation run, converted to
+// an error so one corrupted (x, protocol, seed) point cannot kill a
+// whole sweep process. The supervision layer (internal/runner) treats
+// it as non-retriable and quarantines the point with its stack.
+type PanicError struct {
+	// Value is the panic value's string form.
+	Value string
+	// Stack is the goroutine stack at recovery.
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return "experiment: run panicked: " + e.Value }
+
+// runRecovering is Run behind a recover boundary: RunMean fans seeds
+// out to goroutines, and a panic escaping one of them would end the
+// process no matter what callers higher up recover.
+func runRecovering(cfg Config) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+		}
+	}()
+	return Run(cfg)
 }
 
 // spreadBatch injects cfg.FixedBatch packets, round-robin across
@@ -487,7 +564,7 @@ func RunMean(cfg Config, seeds []int64) (metrics.Summary, error) {
 			defer func() { <-runGate }()
 			c := cfg
 			c.Seed = seed
-			r, err := Run(c)
+			r, err := runRecovering(c)
 			if err != nil {
 				errs[i] = err
 				return

@@ -17,7 +17,7 @@ import (
 
 type nullMedium struct{}
 
-func (nullMedium) Broadcast(packet.NodeID, *packet.Frame, time.Duration) {}
+func (nullMedium) Broadcast(packet.NodeID, *packet.Frame, time.Duration) error { return nil }
 
 type fakeProto struct{ restarts int }
 

@@ -6,17 +6,18 @@ package figures
 
 import (
 	"fmt"
-	"runtime"
+	"math"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"ewmac/internal/experiment"
 	"ewmac/internal/metrics"
+	"ewmac/internal/runner"
+	"ewmac/internal/sim"
 )
 
-// Options control sweep fidelity.
+// Options control sweep fidelity and supervision.
 type Options struct {
 	// Seeds are averaged per data point (default {1, 2, 3}).
 	Seeds []int64
@@ -25,13 +26,25 @@ type Options struct {
 	SimTime time.Duration
 	// Progress, if non-nil, receives one line per data point. Points run
 	// concurrently, so lines are emitted during final table assembly, in
-	// deterministic x-ascending, protocol-column order.
+	// deterministic x-ascending, protocol-column order. Supervision
+	// events (retries, quarantines, resume hits) are also forwarded as
+	// they happen, so those lines are not order-deterministic.
 	Progress func(string)
 	// Workers bounds how many (x-value × protocol) points of one sweep
 	// are in flight at once (0 = GOMAXPROCS, 1 = serial). Results are
 	// identical for any value: each point owns an independent engine and
 	// the table is assembled in a fixed order after all points finish.
 	Workers int
+	// Manifest, when non-nil, checkpoints every finished point and
+	// serves already-completed points on resume. One manifest may span
+	// several figures: points are keyed by figure ID.
+	Manifest *runner.Manifest
+	// Budget bounds each point's run (zero = unbounded, livelock
+	// watchdog still armed); Retries/Backoff govern re-execution of
+	// budget-aborted points with an exponentially loosened budget.
+	Budget  sim.Budget
+	Retries int
+	Backoff time.Duration
 }
 
 func (o *Options) applyDefaults() {
@@ -41,13 +54,6 @@ func (o *Options) applyDefaults() {
 	if o.SimTime <= 0 {
 		o.SimTime = 300 * time.Second
 	}
-}
-
-func (o *Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return runtime.GOMAXPROCS(0)
 }
 
 // Table is one reproduced figure: X values against one Y series per
@@ -61,8 +67,21 @@ type Table struct {
 	Protocols []experiment.Protocol
 	// X values, ascending.
 	X []float64
-	// Y[protocol][i] corresponds to X[i].
+	// Y[protocol][i] corresponds to X[i]. A quarantined point is NaN.
 	Y map[experiment.Protocol][]float64
+	// Failed lists quarantined cells per protocol ("x=…: reason"); nil
+	// when every point completed.
+	Failed map[experiment.Protocol][]string
+	// Stats summarize the supervised sweep that produced the table.
+	Stats runner.Stats
+}
+
+// fail records a quarantined cell.
+func (t *Table) fail(p experiment.Protocol, msg string) {
+	if t.Failed == nil {
+		t.Failed = make(map[experiment.Protocol][]string)
+	}
+	t.Failed[p] = append(t.Failed[p], msg)
 }
 
 // Render formats the table as aligned ASCII.
@@ -109,8 +128,10 @@ type pointFunc func(p experiment.Protocol, x float64) experiment.Config
 
 type reduceFunc func(s, baseline metrics.Summary) float64
 
+// needBaseline marks sweeps whose reduce divides by the same-x S-FAMA
+// summary: when the baseline point is quarantined, the whole x-row is.
 func sweep(id, title, xlabel, ylabel string, xs []float64, opts Options,
-	point pointFunc, reduce reduceFunc) (*Table, error) {
+	point pointFunc, reduce reduceFunc, needBaseline bool) (*Table, error) {
 	opts.applyDefaults()
 	t := &Table{
 		ID:        id,
@@ -123,31 +144,40 @@ func sweep(id, title, xlabel, ylabel string, xs []float64, opts Options,
 	}
 	sort.Float64s(t.X)
 
-	// Fan every (x-value × protocol) point out to a bounded worker pool.
-	// Each point runs with its own engines, so results are independent of
-	// completion order; determinism comes from assembling the table (and
-	// computing the S-FAMA-relative reductions) afterwards in fixed
-	// x-ascending, protocol-column order.
+	// Every (x-value × protocol) point goes through the runner's
+	// supervised pool: a panicking or budget-exhausted point is
+	// quarantined as a NaN cell instead of aborting the figure, finished
+	// points checkpoint to the manifest, and resumed points are served
+	// from it. Each point runs with its own engines, so results are
+	// independent of completion order; determinism comes from assembling
+	// the table (and computing the S-FAMA-relative reductions)
+	// afterwards in fixed x-ascending, protocol-column order.
 	np := len(t.Protocols)
-	sums := make([]metrics.Summary, len(t.X)*np)
-	errs := make([]error, len(t.X)*np)
-	idx := func(xi, pi int) int { return xi*np + pi }
-	sem := make(chan struct{}, opts.workers())
-	var wg sync.WaitGroup
-	for xi := range t.X {
-		for pi := range t.Protocols {
-			wg.Add(1)
-			go func(xi, pi int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				cfg := point(t.Protocols[pi], t.X[xi])
-				cfg.SimTime = opts.SimTime
-				sums[idx(xi, pi)], errs[idx(xi, pi)] = experiment.RunMean(cfg, opts.Seeds)
-			}(xi, pi)
+	keys := make([]runner.Key, 0, len(t.X)*np)
+	for _, x := range t.X {
+		for _, p := range t.Protocols {
+			keys = append(keys, runner.Key{Sweep: id, Protocol: string(p), X: x})
 		}
 	}
-	wg.Wait()
+	idx := func(xi, pi int) int { return xi*np + pi }
+	pf := func(k runner.Key, b sim.Budget) (metrics.Summary, error) {
+		cfg := point(experiment.Protocol(k.Protocol), k.X)
+		cfg.SimTime = opts.SimTime
+		cfg.Budget = b
+		return experiment.RunMean(cfg, opts.Seeds)
+	}
+	recs, stats, err := runner.Sweep(keys, pf, runner.Options{
+		Workers:  opts.Workers,
+		Manifest: opts.Manifest,
+		Budget:   opts.Budget,
+		Retries:  opts.Retries,
+		Backoff:  opts.Backoff,
+		OnEvent:  opts.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figures %s: %w", id, err)
+	}
+	t.Stats = stats
 
 	spi := 0
 	for pi, p := range t.Protocols {
@@ -156,20 +186,27 @@ func sweep(id, title, xlabel, ylabel string, xs []float64, opts Options,
 		}
 	}
 	for xi, x := range t.X {
-		// The S-FAMA baseline anchors the ratio metrics at this x; its
-		// error is reported first so failure messages do not depend on
-		// which worker lost the race.
-		if err := errs[idx(xi, spi)]; err != nil {
-			return nil, fmt.Errorf("figures %s: baseline at %v: %w", id, x, err)
+		baseRec := recs[idx(xi, spi)]
+		var base metrics.Summary
+		if baseRec.Status == runner.StatusDone {
+			base = *baseRec.Summary
 		}
-		base := sums[idx(xi, spi)]
 		for pi, p := range t.Protocols {
-			if err := errs[idx(xi, pi)]; err != nil {
-				return nil, fmt.Errorf("figures %s: %s at %v: %w", id, p, x, err)
+			r := recs[idx(xi, pi)]
+			var y float64
+			switch {
+			case r.Status != runner.StatusDone:
+				y = math.NaN()
+				t.fail(p, fmt.Sprintf("x=%g: %s", x, r.Error))
+			case needBaseline && baseRec.Status != runner.StatusDone:
+				y = math.NaN()
+				t.fail(p, fmt.Sprintf("x=%g: S-FAMA baseline quarantined: %s", x, baseRec.Error))
+			default:
+				y = reduce(*r.Summary, base)
 			}
-			t.Y[p] = append(t.Y[p], reduce(sums[idx(xi, pi)], base))
+			t.Y[p] = append(t.Y[p], y)
 			if opts.Progress != nil {
-				opts.Progress(fmt.Sprintf("%s: %s x=%g y=%.4f", id, p.DisplayName(), x, t.Y[p][len(t.Y[p])-1]))
+				opts.Progress(fmt.Sprintf("%s: %s x=%g y=%.4f", id, p.DisplayName(), x, y))
 			}
 		}
 	}
@@ -187,7 +224,7 @@ func Figure6(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = x
 			return cfg
 		},
-		func(s, _ metrics.Summary) float64 { return s.ThroughputKbps })
+		func(s, _ metrics.Summary) float64 { return s.ThroughputKbps }, false)
 }
 
 // Figure7 reproduces "Throughput at different network sensor
@@ -202,7 +239,7 @@ func Figure7(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = 0.8
 			return cfg
 		},
-		func(s, _ metrics.Summary) float64 { return s.ThroughputKbps })
+		func(s, _ metrics.Summary) float64 { return s.ThroughputKbps }, false)
 }
 
 // Figure8 reproduces "Relationship between execution time and offer
@@ -216,7 +253,7 @@ func Figure8(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = x
 			return cfg
 		},
-		func(s, _ metrics.Summary) float64 { return s.ExecutionTime.Seconds() })
+		func(s, _ metrics.Summary) float64 { return s.ExecutionTime.Seconds() }, false)
 }
 
 // Figure9a reproduces "Power consumption according to offered load"
@@ -231,7 +268,7 @@ func Figure9a(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = x
 			return cfg
 		},
-		func(s, _ metrics.Summary) float64 { return s.MeanPowerMW })
+		func(s, _ metrics.Summary) float64 { return s.MeanPowerMW }, false)
 }
 
 // Figure9b reproduces "Power consumption according to the number of
@@ -246,7 +283,7 @@ func Figure9b(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = 0.3
 			return cfg
 		},
-		func(s, _ metrics.Summary) float64 { return s.MeanPowerMW })
+		func(s, _ metrics.Summary) float64 { return s.MeanPowerMW }, false)
 }
 
 // Figure10a reproduces "Overhead for the number of sensors" at 0.5 kbps
@@ -261,7 +298,7 @@ func Figure10a(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = 0.5
 			return cfg
 		},
-		metrics.OverheadRatio)
+		metrics.OverheadRatio, true)
 }
 
 // Figure10b reproduces "Overhead ratio according to the offered load
@@ -276,7 +313,7 @@ func Figure10b(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = x
 			return cfg
 		},
-		metrics.OverheadRatio)
+		metrics.OverheadRatio, true)
 }
 
 // Figure11 reproduces "Efficiency indexes for different offered loads"
@@ -290,7 +327,7 @@ func Figure11(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = x
 			return cfg
 		},
-		metrics.EfficiencyIndex)
+		metrics.EfficiencyIndex, true)
 }
 
 // FigurePacketSize is an extension experiment beyond the paper's
@@ -309,7 +346,7 @@ func FigurePacketSize(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = 0.6
 			return cfg
 		},
-		func(s, _ metrics.Summary) float64 { return s.ThroughputKbps })
+		func(s, _ metrics.Summary) float64 { return s.ThroughputKbps }, false)
 }
 
 // Table2 renders the paper's simulation-parameter table from the

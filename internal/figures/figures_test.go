@@ -24,7 +24,7 @@ func TestSweepMachinery(t *testing.T) {
 			cfg.OfferedLoadKbps = x
 			return cfg
 		},
-		func(s, _ metrics.Summary) float64 { return s.ThroughputKbps })
+		func(s, _ metrics.Summary) float64 { return s.ThroughputKbps }, false)
 	if err != nil {
 		t.Fatal(err)
 	}

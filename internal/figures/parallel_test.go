@@ -21,7 +21,7 @@ func testSweep(opts Options) (*Table, error) {
 			cfg.OfferedLoadKbps = x
 			return cfg
 		},
-		metrics.OverheadRatio)
+		metrics.OverheadRatio, true)
 }
 
 // A sweep must produce the identical table whether its points run one

@@ -1,0 +1,118 @@
+package figures
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ewmac/internal/runner"
+	"ewmac/internal/sim"
+)
+
+// TestSweepResumeBitIdentical is the crash-safety acceptance test: a
+// sweep interrupted mid-run (simulated by cutting the manifest back to
+// a prefix plus a torn tail, exactly what SIGKILL leaves) and then
+// resumed must produce a byte-identical CSV to an uninterrupted run.
+func TestSweepResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	opts := Options{Seeds: []int64{1}, SimTime: 20 * time.Second, Workers: 4}
+
+	clean, err := testSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanCSV := clean.CSV()
+
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	m1, err := runner.OpenManifest(path, "resume-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := opts
+	o1.Manifest = m1
+	full, err := testSweep(o1)
+	m1.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CSV() != cleanCSV {
+		t.Fatalf("journaling changed results:\nclean:\n%s\njournaled:\n%s", cleanCSV, full.CSV())
+	}
+
+	// Cut the journal back to header + 3 records and a torn fourth line:
+	// the on-disk state of a process killed mid-sweep.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	torn := strings.Join(lines[:4], "") + lines[4][:len(lines[4])/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := runner.OpenManifest(path, "resume-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Loaded() != 3 {
+		t.Fatalf("resume loaded %d records, want 3", m2.Loaded())
+	}
+	o2 := opts
+	o2.Manifest = m2
+	resumed, err := testSweep(o2)
+	m2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats.Resumed != 3 {
+		t.Errorf("resumed stats = %+v, want 3 points served from journal", resumed.Stats)
+	}
+	if resumed.Failed != nil {
+		t.Errorf("resumed sweep quarantined cells: %v", resumed.Failed)
+	}
+	if got := resumed.CSV(); got != cleanCSV {
+		t.Errorf("resumed CSV not bit-identical:\nclean:\n%s\nresumed:\n%s", cleanCSV, got)
+	}
+}
+
+// TestSweepQuarantineAssembles: under an impossible budget every point
+// is quarantined, yet the figure still assembles — NaN cells, populated
+// Failed map, nil error.
+func TestSweepQuarantineAssembles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	opts := Options{
+		Seeds:   []int64{1},
+		SimTime: 30 * time.Second,
+		Workers: 2,
+		Budget:  sim.Budget{MaxEvents: 10},
+	}
+	tab, err := testSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(tab.X) * len(tab.Protocols)
+	if tab.Stats.Quarantined != want {
+		t.Fatalf("stats = %+v, want all %d points quarantined", tab.Stats, want)
+	}
+	if tab.Failed == nil {
+		t.Fatal("Failed map empty despite quarantines")
+	}
+	for _, p := range tab.Protocols {
+		for i, y := range tab.Y[p] {
+			if !math.IsNaN(y) {
+				t.Errorf("%s Y[%d] = %v, want NaN for quarantined cell", p, i, y)
+			}
+		}
+	}
+}

@@ -31,7 +31,7 @@ func (nopHooks) OnRestart()                     {}
 // sinkMedium swallows transmissions.
 type sinkMedium struct{}
 
-func (sinkMedium) Broadcast(packet.NodeID, *packet.Frame, time.Duration) {}
+func (sinkMedium) Broadcast(packet.NodeID, *packet.Frame, time.Duration) error { return nil }
 
 func testBase(t *testing.T) (*Base, *sim.Engine) {
 	t.Helper()

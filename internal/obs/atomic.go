@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// This file holds the crash-safe persistence primitives shared by every
+// result writer in the repo: the trace/time-series exporters, the
+// figure-table CSV writer, the benchmark JSON writer, and the runner's
+// checkpoint manifest. Two shapes cover all of them:
+//
+//   - AtomicFile / WriteFileAtomic: whole-file outputs published with
+//     temp-file + fsync + rename, so a killed process leaves either the
+//     previous complete file or the new complete file, never a torn one.
+//   - AppendJSONL: an append-only journal whose every record is fsync'd,
+//     so a killed process loses at most the record being written (a torn
+//     final line, which readers must tolerate).
+
+// AtomicFile is an io.WriteCloser that stages writes in a temp file in
+// the destination directory and publishes them at Close via fsync +
+// rename. Until Close succeeds the destination is untouched; Abort (or
+// a Close error) removes the temp file.
+type AtomicFile struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// CreateAtomic starts an atomic write to path.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("obs: atomic create %s: %w", path, err)
+	}
+	return &AtomicFile{f: f, path: path}, nil
+}
+
+// Write implements io.Writer.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Close fsyncs the staged content, renames it over the destination,
+// and fsyncs the directory so the rename itself survives a crash.
+func (a *AtomicFile) Close() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("obs: atomic sync %s: %w", a.path, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: atomic close %s: %w", a.path, err)
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: atomic publish %s: %w", a.path, err)
+	}
+	return syncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the staged content, leaving the destination untouched.
+// Safe to call after Close (no-op).
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	tmp := a.f.Name()
+	a.f.Close()
+	os.Remove(tmp)
+}
+
+// WriteFileAtomic writes data to path through an AtomicFile.
+func WriteFileAtomic(path string, data []byte) error {
+	a, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	if _, err := a.Write(data); err != nil {
+		a.Abort()
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	return a.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems refuse to fsync directories; that is not worth failing a
+// completed write over.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// AppendJSONL is a crash-safe append-only JSONL journal: each Append
+// marshals one record, writes it with a trailing newline, and fsyncs
+// before returning, so an acknowledged record survives SIGKILL. It is
+// safe for concurrent use.
+type AppendJSONL struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// CreateJSONL truncates (or creates) the journal at path.
+func CreateJSONL(path string) (*AppendJSONL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: journal create %s: %w", path, err)
+	}
+	return &AppendJSONL{f: f}, nil
+}
+
+// OpenJSONLAt reopens an existing journal for appending after byte
+// offset valid — everything past it (a torn final line from a killed
+// writer) is truncated away so the next record starts on a clean line.
+func OpenJSONLAt(path string, valid int64) (*AppendJSONL, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: journal open %s: %w", path, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: journal truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: journal seek %s: %w", path, err)
+	}
+	return &AppendJSONL{f: f}, nil
+}
+
+// Append journals one record durably.
+func (a *AppendJSONL) Append(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("obs: journal marshal: %w", err)
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := a.f.Write(line); err != nil {
+		return fmt.Errorf("obs: journal append: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("obs: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (a *AppendJSONL) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f.Close()
+}

@@ -74,8 +74,11 @@ type Listener interface {
 // implements it against the deployed topology.
 type Medium interface {
 	// Broadcast delivers f (with on-air duration dur) to every other
-	// modem, applying propagation delay and attenuation.
-	Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration)
+	// modem, applying propagation delay and attenuation. A non-nil error
+	// means the medium dropped the transmission entirely (e.g. the
+	// source is not part of the deployed topology); the transmitter
+	// still spent its on-air time and energy.
+	Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration) error
 }
 
 // Stats counts modem activity for the metrics layer.
@@ -274,8 +277,14 @@ func (m *Modem) Transmit(f *packet.Frame) error {
 	if m.rec != nil {
 		m.rec.Record(m.eng.Now(), obs.TxBegin{Node: m.id, Frame: f, Dur: dur})
 	}
-	m.medium.Broadcast(m.id, f, dur)
+	// finishTx is scheduled even when the medium rejects the frame: the
+	// transmitter already committed its on-air time and energy, and the
+	// modem must return to idle rather than stay wedged in tx state.
+	err := m.medium.Broadcast(m.id, f, dur)
 	m.eng.ScheduleIn(dur, sim.PriorityPHY, func() { m.finishTx(f) })
+	if err != nil {
+		return fmt.Errorf("phy: transmit: %w", err)
+	}
 	return nil
 }
 

@@ -22,7 +22,7 @@ type fakeMedium struct {
 	usable bool
 }
 
-func (fm *fakeMedium) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration) {
+func (fm *fakeMedium) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duration) error {
 	fm.sent = append(fm.sent, f)
 	for _, p := range fm.peers {
 		if p.ID() == src {
@@ -34,6 +34,7 @@ func (fm *fakeMedium) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Dur
 			rx.BeginArrival(fc, fm.level, dur, fm.usable)
 		})
 	}
+	return nil
 }
 
 // recorder is a Listener capturing events.

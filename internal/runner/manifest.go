@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"ewmac/internal/obs"
+)
+
+// ManifestVersion is bumped whenever the journal schema changes
+// incompatibly; a version mismatch on resume is an error, never a
+// silent misread.
+const ManifestVersion = 1
+
+// ErrManifestMismatch is returned when an existing manifest was
+// written under a different configuration (fingerprint or version)
+// than the resuming run — resuming it would splice incompatible
+// results into one table.
+var ErrManifestMismatch = errors.New("runner: manifest does not match this run's configuration")
+
+// header is the first line of every manifest.
+type header struct {
+	Version     int    `json:"manifest_version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Manifest is the crash-safe checkpoint journal of a supervised run:
+// one header line identifying the configuration, then one Record per
+// finished (sweep, protocol, x) point, each fsync'd before the point
+// is reported done. Re-opening the same path with the same
+// fingerprint resumes: recorded completions are served from the
+// journal instead of being recomputed. Safe for concurrent use.
+type Manifest struct {
+	mu   sync.Mutex
+	app  *obs.AppendJSONL
+	done map[Key]Record
+	path string
+	// loaded counts records restored from disk at open.
+	loaded int
+}
+
+// OpenManifest opens the checkpoint journal at path, creating it when
+// absent and resuming it when present. fingerprint identifies the run
+// configuration (seeds, durations, sweep set); an existing manifest
+// with a different fingerprint is rejected with ErrManifestMismatch
+// rather than silently mixed in. A torn final line — the signature of
+// a killed writer — is discarded and overwritten.
+func OpenManifest(path, fingerprint string) (*Manifest, error) {
+	m := &Manifest{done: make(map[Key]Record), path: path}
+	f, err := os.Open(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		app, err := obs.CreateJSONL(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Append(header{Version: ManifestVersion, Fingerprint: fingerprint}); err != nil {
+			app.Close()
+			return nil, err
+		}
+		m.app = app
+		return m, nil
+	case err != nil:
+		return nil, fmt.Errorf("runner: manifest %s: %w", path, err)
+	}
+
+	valid, err := m.load(f, fingerprint)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	app, err := obs.OpenJSONLAt(path, valid)
+	if err != nil {
+		return nil, err
+	}
+	m.app = app
+	return m, nil
+}
+
+// load scans the journal, fills the done map, and returns the byte
+// offset just past the last intact line. Anything after that offset
+// (at most one torn record) is dropped.
+func (m *Manifest) load(f *os.File, fingerprint string) (valid int64, err error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if first {
+			var h header
+			if json.Unmarshal(line, &h) != nil {
+				break // torn header (killed mid-first-write): reseed below
+			}
+			first = false
+			if h.Version != ManifestVersion || h.Fingerprint != fingerprint {
+				return 0, fmt.Errorf("%w: %s (want fingerprint %q)", ErrManifestMismatch, m.path, fingerprint)
+			}
+			valid += int64(len(line)) + 1
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil {
+			break // torn or corrupt line: drop it and everything after
+		}
+		m.done[rec.Key] = rec
+		m.loaded++
+		valid += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return 0, fmt.Errorf("runner: manifest %s: %w", m.path, err)
+	}
+	if first {
+		// Empty or header-torn file (killed before the header landed):
+		// re-seed it with a fresh header and resume from just past it.
+		app, err := obs.CreateJSONL(m.path)
+		if err != nil {
+			return 0, err
+		}
+		h := header{Version: ManifestVersion, Fingerprint: fingerprint}
+		if err := app.Append(h); err != nil {
+			app.Close()
+			return 0, err
+		}
+		if err := app.Close(); err != nil {
+			return 0, err
+		}
+		b, _ := json.Marshal(h)
+		return int64(len(b)) + 1, nil
+	}
+	return valid, nil
+}
+
+// Lookup returns the journaled record for k, if any. Only records with
+// StatusDone short-circuit re-execution; failed records are returned
+// too so callers can report prior quarantines, but Supervise re-runs
+// them (a resumed run is a fresh chance).
+func (m *Manifest) Lookup(k Key) (Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.done[k]
+	return rec, ok
+}
+
+// Loaded reports how many records were restored from disk at open.
+func (m *Manifest) Loaded() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.loaded
+}
+
+// Path returns the journal's file path.
+func (m *Manifest) Path() string { return m.path }
+
+// Append journals rec durably and indexes it for Lookup.
+func (m *Manifest) Append(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.app.Append(rec); err != nil {
+		return err
+	}
+	m.done[rec.Key] = rec
+	return nil
+}
+
+// Close closes the journal file.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.app.Close()
+}

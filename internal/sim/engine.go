@@ -110,6 +110,15 @@ type Engine struct {
 	wallAccum time.Duration
 	runStart  time.Time
 	inRun     bool
+	// budget fields (see budget.go): checks run only when budgetOn, so
+	// unbudgeted runs pay one predictable branch per event. instAt /
+	// instCount / instValid drive the livelock detector.
+	budget    Budget
+	budgetOn  bool
+	budgetErr *BudgetError
+	instAt    Time
+	instCount uint64
+	instValid bool
 }
 
 // LoopStats is a snapshot of event-loop health, polled by the
@@ -322,6 +331,11 @@ func (e *Engine) SetHorizon(t Time) { e.horizon = t }
 // reached, or Stop is called. It returns the number of events executed
 // during this call.
 func (e *Engine) Run() uint64 {
+	if e.budgetErr != nil {
+		// A budget abort is terminal for this engine: the stream was cut
+		// mid-flight and resuming would silently produce a half-run.
+		return 0
+	}
 	e.stopped = false
 	if !e.inRun {
 		// Runs can nest only via buggy reentrancy; guard anyway so the
@@ -350,6 +364,15 @@ func (e *Engine) Run() uint64 {
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, e.now))
 		}
+		if e.budgetOn {
+			if berr := e.checkBudget(ev.at); berr != nil {
+				// Abort before touching state: the event goes back on the
+				// queue so Pending stays truthful for post-mortems.
+				e.budgetErr = berr
+				e.push(ev)
+				break
+			}
+		}
 		e.now = ev.at
 		fn := ev.fn
 		// Recycle before running: the heap no longer references the
@@ -374,7 +397,9 @@ func (e *Engine) RunUntil(t Time) uint64 {
 	e.horizon = t
 	n := e.Run()
 	e.horizon = prev
-	if e.now < t {
+	// A budget abort leaves Now at the abort instant rather than
+	// claiming the full window was simulated.
+	if e.budgetErr == nil && e.now < t {
 		e.now = t
 	}
 	return n
