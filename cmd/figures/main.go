@@ -42,6 +42,7 @@ func run() int {
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 		workers = flag.Int("workers", 0, "max concurrent sweep points (0 = GOMAXPROCS, 1 = serial)")
 
+		httpAddr  = flag.String("http", "", "serve live sweep introspection (/metrics, /progress, /debug/pprof) on this address")
 		resume    = flag.String("resume", "", "checkpoint manifest path: journal finished points and skip them on re-run")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget per sweep point (0 = unbounded)")
 		maxEvents = flag.Uint64("max-events", 0, "simulation event budget per sweep point (0 = unbounded)")
@@ -59,6 +60,17 @@ func run() int {
 	for s := int64(1); s <= int64(*seeds); s++ {
 		opts.Seeds = append(opts.Seeds, s)
 	}
+	if *httpAddr != "" {
+		live := obs.NewLive()
+		addr, err := live.Serve(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: -http: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "  introspection on http://%s (/metrics, /progress, /debug/pprof)\n", addr)
+		opts.Live = live
+	}
+
 	var progressMu sync.Mutex
 	if !*quiet {
 		opts.Progress = func(line string) {

@@ -1,0 +1,475 @@
+// Command tracetool queries the observability files a run writes:
+// the causal-span JSONL (-spans), the trace-v2 event JSONL (-trace),
+// and the waiting-resource slot profile (-slotprof).
+//
+//	tracetool spans -in run.spans -type extra -complete
+//	tracetool latency -in run.spans -type handshake
+//	tracetool slots -in run.slots
+//	tracetool slots -in run.slots -ratio        # bare exploitation ratio
+//	tracetool events -in run.jsonl -event mac.deliver -node 3
+//	tracetool diff a.spans b.spans
+//
+// Every subcommand streams its input line by line, so multi-gigabyte
+// traces work in constant memory (latency and diff buffer only the
+// scalar values they aggregate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"ewmac/internal/obs/slotprof"
+	"ewmac/internal/obs/span"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, `usage: tracetool <command> [flags]
+
+commands:
+  spans    list causal spans (filter by -node, -type, -complete)
+  latency  latency percentiles and histogram over delivering spans
+  slots    waiting-resource slot profile table (-ratio: bare run ratio)
+  events   filter the trace-v2 event stream (-event, -node)
+  diff     compare two span files' aggregate counts
+
+run "tracetool <command> -h" for the command's flags`)
+	return 2
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		return usage()
+	}
+	var err error
+	switch args[0] {
+	case "spans":
+		err = cmdSpans(args[1:])
+	case "latency":
+		err = cmdLatency(args[1:])
+	case "slots":
+		err = cmdSlots(args[1:])
+	case "events":
+		err = cmdEvents(args[1:])
+	case "diff":
+		err = cmdDiff(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "tracetool: unknown command %q\n", args[0])
+		return usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// forEachSpan streams every span line of path (skipping the meta line)
+// through fn, returning the meta line when present.
+func forEachSpan(path string, fn func(*span.Span)) (*span.Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var meta *span.Meta
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for ln := 1; sc.Scan(); ln++ {
+		var s span.Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return meta, fmt.Errorf("%s:%d: %w", path, ln, err)
+		}
+		if s.Type == "meta" {
+			var m span.Meta
+			if err := json.Unmarshal(sc.Bytes(), &m); err == nil {
+				meta = &m
+			}
+			continue
+		}
+		fn(&s)
+	}
+	return meta, sc.Err()
+}
+
+func cmdSpans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	in := fs.String("in", "", "span JSONL file (required)")
+	node := fs.Int("node", -1, "only spans whose src or dst is this node")
+	typ := fs.String("type", "", "only this span type: handshake, extra, contention, or fault")
+	complete := fs.Bool("complete", false, "only complete spans")
+	limit := fs.Int("limit", 0, "print at most this many spans (0 = all)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("spans: -in is required")
+	}
+
+	shown, matched := 0, 0
+	byType := map[string]int{}
+	completeN := 0
+	meta, err := forEachSpan(*in, func(s *span.Span) {
+		if *typ != "" && s.Type != *typ {
+			return
+		}
+		if *node >= 0 && int(s.Src) != *node && int(s.Dst) != *node {
+			return
+		}
+		if *complete && !s.Complete {
+			return
+		}
+		matched++
+		byType[s.Type]++
+		if s.Complete {
+			completeN++
+		}
+		if *limit > 0 && shown >= *limit {
+			return
+		}
+		shown++
+		line := fmt.Sprintf("%10.4f %10.4f  %-10s xid=%-12x %3d->%-3d %-16s legs=%d",
+			s.Start, s.End, s.Type, s.XID, s.Src, s.Dst, s.Outcome, len(s.Legs))
+		if s.Parent != 0 {
+			line += fmt.Sprintf(" parent=%x", s.Parent)
+		}
+		if s.Bits > 0 {
+			line += fmt.Sprintf(" bits=%d latency=%.4fs", s.Bits, s.LatencyS)
+		}
+		fmt.Println(line)
+	})
+	if err != nil {
+		return err
+	}
+	if meta != nil {
+		fmt.Printf("# run: protocol=%s seed=%d nodes=%d\n", meta.Protocol, meta.Seed, meta.Nodes)
+	}
+	fmt.Printf("# %d span(s) matched (%d complete)", matched, completeN)
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Printf("  %s=%d", t, byType[t])
+	}
+	fmt.Println()
+	if *limit > 0 && matched > shown {
+		fmt.Printf("# (%d more suppressed by -limit)\n", matched-shown)
+	}
+	return nil
+}
+
+func cmdLatency(args []string) error {
+	fs := flag.NewFlagSet("latency", flag.ExitOnError)
+	in := fs.String("in", "", "span JSONL file (required)")
+	typ := fs.String("type", "", "restrict to one span type (default: any delivering span)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("latency: -in is required")
+	}
+
+	var lats []float64
+	_, err := forEachSpan(*in, func(s *span.Span) {
+		if *typ != "" && s.Type != *typ {
+			return
+		}
+		if !s.Complete || s.LatencyS <= 0 {
+			return
+		}
+		lats = append(lats, s.LatencyS)
+	})
+	if err != nil {
+		return err
+	}
+	if len(lats) == 0 {
+		fmt.Println("no delivering spans matched")
+		return nil
+	}
+	sort.Float64s(lats)
+	var sum float64
+	for _, v := range lats {
+		sum += v
+	}
+	fmt.Printf("n=%d  mean=%.4fs  p50=%.4fs  p95=%.4fs  p99=%.4fs  max=%.4fs\n",
+		len(lats), sum/float64(len(lats)),
+		percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99),
+		lats[len(lats)-1])
+	histogram(os.Stdout, lats, 10)
+	return nil
+}
+
+// percentile is nearest-rank over a sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// histogram prints an equal-width ASCII histogram of sorted values.
+func histogram(w io.Writer, sorted []float64, buckets int) {
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if hi <= lo {
+		fmt.Fprintf(w, "  [%8.4f, %8.4f) %s %d\n", lo, hi, strings.Repeat("#", 40), len(sorted))
+		return
+	}
+	width := (hi - lo) / float64(buckets)
+	counts := make([]int, buckets)
+	for _, v := range sorted {
+		b := int((v - lo) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range counts {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", c*40/max)
+		}
+		fmt.Fprintf(w, "  [%8.4f, %8.4f) %-40s %d\n",
+			lo+float64(i)*width, lo+float64(i+1)*width, bar, c)
+	}
+}
+
+func cmdSlots(args []string) error {
+	fs := flag.NewFlagSet("slots", flag.ExitOnError)
+	in := fs.String("in", "", "slot-profile JSONL file (required)")
+	ratio := fs.Bool("ratio", false, "print only the run's exploitation ratio (for scripts)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("slots: -in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var nodes []slotprof.NodeRecord
+	var sum *slotprof.Summary
+	slotLines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for ln := 1; sc.Scan(); ln++ {
+		var rec struct {
+			Rec string `json:"rec"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("%s:%d: %w", *in, ln, err)
+		}
+		switch rec.Rec {
+		case "slot":
+			slotLines++
+		case "node":
+			var n slotprof.NodeRecord
+			if err := json.Unmarshal(sc.Bytes(), &n); err != nil {
+				return fmt.Errorf("%s:%d: %w", *in, ln, err)
+			}
+			nodes = append(nodes, n)
+		case "summary":
+			var s slotprof.Summary
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				return fmt.Errorf("%s:%d: %w", *in, ln, err)
+			}
+			sum = &s
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if sum == nil {
+		return fmt.Errorf("%s: no summary record (file truncated?)", *in)
+	}
+	if *ratio {
+		fmt.Printf("%g\n", sum.Exploit)
+		return nil
+	}
+
+	fmt.Printf("%s: %d slot(s) × %d node(s), slot=%gs (%d active slot lines)\n",
+		sum.Protocol, sum.Slots, sum.Nodes, sum.SlotLenS, slotLines)
+	fmt.Printf("%6s %10s %10s %10s %10s %10s %9s\n",
+		"node", "tx(s)", "rx(s)", "wait(s)", "reclaim(s)", "guard(s)", "exploit")
+	for _, n := range nodes {
+		fmt.Printf("%6d %10.3f %10.3f %10.3f %10.3f %10.3f %9.4f\n",
+			n.Node, n.Tx, n.Rx, n.Wait, n.Reclaimed, n.Guard, n.Exploit)
+	}
+	fmt.Printf("%6s %10.3f %10.3f %10.3f %10.3f %10.3f %9.4f\n",
+		"total", sum.Tx, sum.Rx, sum.Wait, sum.Reclaimed, sum.Guard, sum.Exploit)
+	return nil
+}
+
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	in := fs.String("in", "", "trace-v2 JSONL file (required)")
+	event := fs.String("event", "", "only lines with this event tag")
+	node := fs.Int("node", -1, "only lines whose node, src, or dst is this node")
+	limit := fs.Int("limit", 0, "print at most this many lines (0 = all)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("events: -in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	matched, shown := 0, 0
+	byTag := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for ln := 1; sc.Scan(); ln++ {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return fmt.Errorf("%s:%d: %w", *in, ln, err)
+		}
+		tag, _ := m["event"].(string)
+		if *event != "" && tag != *event {
+			continue
+		}
+		if *node >= 0 && !lineMentions(m, float64(*node)) {
+			continue
+		}
+		matched++
+		byTag[tag]++
+		if *limit > 0 && shown >= *limit {
+			continue
+		}
+		shown++
+		fmt.Println(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	tags := make([]string, 0, len(byTag))
+	for t := range byTag {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	fmt.Printf("# %d line(s) matched", matched)
+	for _, t := range tags {
+		fmt.Printf("  %s=%d", t, byTag[t])
+	}
+	fmt.Println()
+	return nil
+}
+
+// lineMentions reports whether a trace line involves the node, checking
+// the common identity keys at the top level and inside frame objects.
+func lineMentions(m map[string]any, node float64) bool {
+	for _, k := range []string{"node", "src", "dst", "peer", "origin"} {
+		if v, ok := m[k].(float64); ok && v == node {
+			return true
+		}
+	}
+	if fr, ok := m["frame"].(map[string]any); ok {
+		for _, k := range []string{"src", "dst"} {
+			if v, ok := fr[k].(float64); ok && v == node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// diffAgg is one span file's aggregate for diffing.
+type diffAgg struct {
+	meta     *span.Meta
+	byType   map[string]int
+	complete int
+	total    int
+	latSum   float64
+	latN     int
+}
+
+func aggregate(path string) (*diffAgg, error) {
+	a := &diffAgg{byType: map[string]int{}}
+	meta, err := forEachSpan(path, func(s *span.Span) {
+		a.total++
+		a.byType[s.Type]++
+		if s.Complete {
+			a.complete++
+		}
+		if s.Complete && s.LatencyS > 0 {
+			a.latSum += s.LatencyS
+			a.latN++
+		}
+	})
+	a.meta = meta
+	return a, err
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two span files, got %d", fs.NArg())
+	}
+	pa, pb := fs.Arg(0), fs.Arg(1)
+	a, err := aggregate(pa)
+	if err != nil {
+		return err
+	}
+	b, err := aggregate(pb)
+	if err != nil {
+		return err
+	}
+	name := func(m *span.Meta, path string) string {
+		if m == nil {
+			return path
+		}
+		return fmt.Sprintf("%s (%s seed=%d)", path, m.Protocol, m.Seed)
+	}
+	fmt.Printf("a: %s\nb: %s\n", name(a.meta, pa), name(b.meta, pb))
+	fmt.Printf("%-14s %12s %12s %12s\n", "metric", "a", "b", "delta")
+	row := func(label string, va, vb int) {
+		fmt.Printf("%-14s %12d %12d %+12d\n", label, va, vb, vb-va)
+	}
+	row("spans", a.total, b.total)
+	row("complete", a.complete, b.complete)
+	keys := map[string]bool{}
+	for t := range a.byType {
+		keys[t] = true
+	}
+	for t := range b.byType {
+		keys[t] = true
+	}
+	types := make([]string, 0, len(keys))
+	for t := range keys {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		row(t, a.byType[t], b.byType[t])
+	}
+	mean := func(d *diffAgg) float64 {
+		if d.latN == 0 {
+			return 0
+		}
+		return d.latSum / float64(d.latN)
+	}
+	fmt.Printf("%-14s %12.4f %12.4f %+12.4f\n", "mean latency", mean(a), mean(b), mean(b)-mean(a))
+	return nil
+}

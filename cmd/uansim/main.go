@@ -4,9 +4,12 @@
 //	uansim -proto ewmac -nodes 60 -load 0.6 -sim 300s -seed 1
 //	uansim -proto all -load 0.8              # compare the four protocols
 //	uansim -proto ewmac -trace run.jsonl     # trace-v2 event stream
+//	uansim -proto ewmac -spans run.spans     # causal-span JSONL
+//	uansim -proto ewmac -slotprof run.slots  # waiting-resource profile
 //	uansim -proto ewmac -timeseries ts.csv   # periodic health samples
 //	uansim -proto ewmac -report run.json     # per-run report (JSON)
 //	uansim -proto ewmac -report run.prom     # same, Prometheus text
+//	uansim -proto ewmac -http :8080          # live /metrics, /progress, pprof
 //	uansim -proto ewmac -faults chaos.json   # fault-injection scenario
 //	uansim -deadline 5m -max-events 100e6    # budget + livelock watchdog
 //	uansim -resume run.manifest -proto all   # skip already-completed runs
@@ -15,8 +18,9 @@
 // stack instead of crashing, -deadline/-max-events bound the run (with
 // -retries re-attempts at a doubled budget), and -resume journals
 // completed runs so a re-invocation skips them. Output files (-trace,
-// -timeseries, -report) are published atomically — an interrupted run
-// leaves the previous complete file, never a torn one.
+// -spans, -slotprof, -timeseries, -report) are published atomically —
+// an interrupted run leaves the previous complete file, never a torn
+// one, and each retry attempt restages from scratch.
 package main
 
 import (
@@ -58,9 +62,12 @@ func run() int {
 
 		faults     = flag.String("faults", "", "fault-injection scenario JSON file (see examples/faults/)")
 		trace      = flag.String("trace", "", "write the trace-v2 JSONL event stream to this file (single protocol only)")
+		spans      = flag.String("spans", "", "write the causal-span JSONL stream to this file (single protocol only)")
+		slotprof   = flag.String("slotprof", "", "write the per-slot waiting-resource profile to this file (single protocol only)")
 		timeseries = flag.String("timeseries", "", "write periodic CSV health samples to this file (single protocol only)")
 		report     = flag.String("report", "", "write a run report to this file: .json for JSON, otherwise Prometheus text (single protocol only)")
 		sample     = flag.Duration("sample", time.Second, "sampling period for -timeseries, in simulated time")
+		httpAddr   = flag.String("http", "", "serve live run introspection (/metrics, /progress, /debug/pprof) on this address")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 
@@ -92,7 +99,8 @@ func run() int {
 	// other, so that combination is an error, not a no-op.
 	if len(protos) > 1 {
 		for _, o := range []struct{ name, val string }{
-			{"trace", *trace}, {"timeseries", *timeseries}, {"report", *report},
+			{"trace", *trace}, {"spans", *spans}, {"slotprof", *slotprof},
+			{"timeseries", *timeseries}, {"report", *report},
 		} {
 			if o.val != "" {
 				fmt.Fprintf(os.Stderr,
@@ -101,6 +109,17 @@ func run() int {
 				return 2
 			}
 		}
+	}
+
+	var live *obs.Live
+	if *httpAddr != "" {
+		live = obs.NewLive()
+		addr, err := live.Serve(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: -http: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "uansim: introspection on http://%s (/metrics, /progress, /debug/pprof)\n", addr)
 	}
 
 	var manifest *runner.Manifest
@@ -149,20 +168,35 @@ func run() int {
 		cfg.Seed = *seed
 		cfg.Faults = scenario
 
-		obsCfg, commitObs, abortObs, err := observeFor(*trace, *timeseries, *report, *sample)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
-			return 1
-		}
-		cfg.Observe = obsCfg
-
 		// The run executes under the supervisor: panics surface as a
 		// quarantined record with a stack, budget aborts retry with a
 		// doubled budget, and with -resume a journaled completion is
-		// served without re-running.
-		var res *ewmac.Result
+		// served without re-running. Output files are staged inside the
+		// attempt, so a retried attempt discards its predecessor's
+		// partial writes instead of interleaving with them.
+		var (
+			res       *ewmac.Result
+			commitObs func() error
+			abortObs  func()
+		)
 		pf := func(_ runner.Key, b sim.Budget) (metrics.Summary, error) {
+			if abortObs != nil {
+				abortObs()
+			}
+			obsCfg, commit, abort, err := observeFor(*trace, *spans, *slotprof, *timeseries, *report, *sample)
+			if err != nil {
+				return metrics.Summary{}, err
+			}
+			commitObs, abortObs = commit, abort
 			c := cfg
+			c.Observe = obsCfg
+			if live != nil {
+				if c.Observe == nil {
+					c.Observe = &experiment.Observe{}
+				}
+				c.Observe.Recorder = obs.Multi(c.Observe.Recorder, live)
+				live.SetRun(p.DisplayName(), c.Seed, c.Nodes)
+			}
 			c.Budget = b
 			r, err := ewmac.Run(c)
 			if err != nil {
@@ -183,12 +217,17 @@ func run() int {
 
 		// Publish the observability files only for a freshly-executed
 		// run; a resumed or failed run must leave previous outputs
-		// intact rather than clobber them with empty files.
+		// intact rather than clobber them with empty files. (A resumed
+		// run never entered pf, so the closures may still be nil.)
 		if rec.Resumed || rec.Status != runner.StatusDone {
-			abortObs()
-		} else if err := commitObs(); err != nil {
-			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
-			return 1
+			if abortObs != nil {
+				abortObs()
+			}
+		} else if commitObs != nil {
+			if err := commitObs(); err != nil {
+				fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+				return 1
+			}
 		}
 		if supErr != nil {
 			fmt.Fprintf(os.Stderr, "uansim: %v\n", supErr)
@@ -266,9 +305,9 @@ func run() int {
 // Output files are staged atomically: commit publishes them (fsync +
 // rename), abort discards the staged content and leaves any previous
 // files untouched. Both are safe to call when nothing was opened.
-func observeFor(trace, timeseries, report string, sample time.Duration) (*experiment.Observe, func() error, func(), error) {
+func observeFor(trace, spans, slotprof, timeseries, report string, sample time.Duration) (*experiment.Observe, func() error, func(), error) {
 	nop := func() error { return nil }
-	if trace == "" && timeseries == "" && report == "" {
+	if trace == "" && spans == "" && slotprof == "" && timeseries == "" && report == "" {
 		return nil, nop, func() {}, nil
 	}
 	o := &experiment.Observe{SampleEvery: sample, Report: report != ""}
@@ -308,6 +347,22 @@ func observeFor(trace, timeseries, report string, sample time.Duration) (*experi
 			return nil, nil, nil, err
 		}
 		o.Trace = w
+	}
+	if spans != "" {
+		w, err := open(spans)
+		if err != nil {
+			abort()
+			return nil, nil, nil, err
+		}
+		o.Spans = w
+	}
+	if slotprof != "" {
+		w, err := open(slotprof)
+		if err != nil {
+			abort()
+			return nil, nil, nil, err
+		}
+		o.SlotProfile = w
 	}
 	if timeseries != "" {
 		w, err := open(timeseries)

@@ -25,6 +25,7 @@ import (
 	"ewmac/internal/mac/sfama"
 	"ewmac/internal/metrics"
 	"ewmac/internal/obs"
+	"ewmac/internal/obs/slotprof"
 	"ewmac/internal/packet"
 	"ewmac/internal/phy"
 	"ewmac/internal/routing"
@@ -243,6 +244,9 @@ type Result struct {
 	// Report is the observability summary, set when Config.Observe
 	// enables report collection.
 	Report *obs.RunReport
+	// SlotProfile is the waiting-resource profile summary, set when
+	// Config.Observe enables slot profiling.
+	SlotProfile *slotprof.Summary
 }
 
 // Run executes one scenario.
@@ -284,14 +288,14 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.DisableGeometryCache {
 		ch.SetCacheEnabled(false)
 	}
-	ro := newRunObs(cfg)
-	if ro.rec != nil {
-		ch.SetRecorder(ro.rec)
-	}
-
 	slots := mac.SlotConfig{
 		Omega:  packet.Duration(packet.ControlBits, model.BitRate()),
 		TauMax: model.MaxDelay(),
+	}
+
+	ro := newRunObs(cfg, slots, model.BitRate())
+	if ro.rec != nil {
+		ch.SetRecorder(ro.rec)
 	}
 
 	var inj *fault.Injector
@@ -427,8 +431,13 @@ func Run(cfg Config) (*Result, error) {
 	eng.RunUntil(endAt)
 	if berr := eng.BudgetErr(); berr != nil {
 		// The run was cut mid-stream; partial counters would be
-		// misleading, so the abort is the whole result.
-		return nil, fmt.Errorf("experiment: %s seed %d: %w", cfg.Protocol, cfg.Seed, berr)
+		// misleading, so the abort is the whole result — but the stream
+		// consumers still flush through the same close path as normal
+		// completion, so trace/span/profile files are parseable up to
+		// the cut instead of ending mid-buffer.
+		cerr := ro.closeStreams(eng)
+		return nil, errors.Join(
+			fmt.Errorf("experiment: %s seed %d: %w", cfg.Protocol, cfg.Seed, berr), cerr)
 	}
 
 	samples := make([]metrics.NodeSample, 0, len(modems))
@@ -464,6 +473,7 @@ func Run(cfg Config) (*Result, error) {
 		MaxPairDelay: net.MaxPairDelay(),
 		PerNode:      samples,
 		Report:       rep,
+		SlotProfile:  ro.slotSum,
 	}, nil
 }
 

@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"errors"
 	"io"
 	"time"
 
 	"ewmac/internal/mac"
 	"ewmac/internal/obs"
+	"ewmac/internal/obs/slotprof"
+	"ewmac/internal/obs/span"
 	"ewmac/internal/phy"
 	"ewmac/internal/sim"
 )
@@ -31,6 +34,17 @@ type Observe struct {
 	// SampleEvery is the TimeSeries period in simulated time
 	// (default 1s).
 	SampleEvery time.Duration
+	// Spans, when non-nil, receives the causal-span JSONL stream: raw
+	// events folded into one line per handshake, extra exchange,
+	// contention round, and fault window, linked by exchange-lineage
+	// IDs. See internal/obs/span.
+	Spans io.Writer
+	// SlotProfile, when non-nil, receives the per-slot waiting-resource
+	// profile: every nanosecond of every node's slots classified into
+	// tx/rx/wait/reclaimed/guard, with the exploitation ratio
+	// reclaimed/(reclaimed+wait) per node and for the run. See
+	// internal/obs/slotprof.
+	SlotProfile io.Writer
 	// Report enables event aggregation into Result.Report.
 	Report bool
 }
@@ -66,11 +80,17 @@ type runObs struct {
 	jsonl     *obs.JSONL
 	collector *obs.Collector
 	sampler   *obs.Sampler
+	spans     *span.Assembler
+	slotprof  *slotprof.Profiler
+	slotSum   *slotprof.Summary
+	closed    bool
 }
 
 // newRunObs assembles the recorder fan-out for one run; rec stays nil
-// when nothing is enabled.
-func newRunObs(cfg Config) *runObs {
+// when nothing is enabled. slots and bitRate parameterize the slot
+// profiler (they are protocol-independent, so every consumer of one
+// run sees the same slot grid).
+func newRunObs(cfg Config, slots mac.SlotConfig, bitRate float64) *runObs {
 	ro := &runObs{}
 	var recs []obs.Recorder
 	if o := cfg.Observe; o != nil {
@@ -78,6 +98,22 @@ func newRunObs(cfg Config) *runObs {
 		if o.Trace != nil {
 			ro.jsonl = obs.NewJSONL(o.Trace)
 			recs = append(recs, ro.jsonl)
+		}
+		if o.Spans != nil {
+			ro.spans = span.New(o.Spans)
+			ro.spans.WriteMeta(cfg.Protocol.DisplayName(), cfg.Seed, cfg.Nodes)
+			recs = append(recs, ro.spans)
+		}
+		if o.SlotProfile != nil {
+			ro.slotprof = slotprof.New(slotprof.Config{
+				Protocol: cfg.Protocol.DisplayName(),
+				SlotLen:  slots.Len(),
+				BitRate:  bitRate,
+				Start:    sim.At(cfg.Warmup),
+				End:      sim.At(cfg.SimTime),
+				Writer:   o.SlotProfile,
+			})
+			recs = append(recs, ro.slotprof)
 		}
 		if o.Report {
 			ro.collector = obs.NewCollector()
@@ -87,6 +123,35 @@ func newRunObs(cfg Config) *runObs {
 	recs = append(recs, cfg.Instrument.recorder())
 	ro.rec = obs.Multi(recs...)
 	return ro
+}
+
+// closeStreams drains every buffered stream consumer: the sampler and
+// trace flush, the span assembler closes out still-open spans, and the
+// slot profiler classifies and writes its records. It is called from
+// the normal completion path and from the budget-abort path alike, so
+// a run cut mid-stream still leaves parseable, flushed output files.
+// Safe to call twice; the second call is a no-op.
+func (ro *runObs) closeStreams(eng *sim.Engine) error {
+	if ro.closed {
+		return nil
+	}
+	ro.closed = true
+	var errs []error
+	if ro.sampler != nil {
+		errs = append(errs, ro.sampler.Flush())
+	}
+	if ro.jsonl != nil {
+		errs = append(errs, ro.jsonl.Flush())
+	}
+	if ro.spans != nil {
+		errs = append(errs, ro.spans.Close())
+	}
+	if ro.slotprof != nil {
+		sum, err := ro.slotprof.Finish(eng.Now())
+		ro.slotSum = &sum
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // startSampler arms the time-series sampler with the domain columns
@@ -170,15 +235,8 @@ func (ro *runObs) startSampler(cfg Config, eng *sim.Engine, slots mac.SlotConfig
 // on, reduces the collected events to a RunReport stamped with the
 // trial identity and engine statistics.
 func (ro *runObs) finish(cfg Config, eng *sim.Engine) (*obs.RunReport, error) {
-	if ro.sampler != nil {
-		if err := ro.sampler.Flush(); err != nil {
-			return nil, err
-		}
-	}
-	if ro.jsonl != nil {
-		if err := ro.jsonl.Flush(); err != nil {
-			return nil, err
-		}
+	if err := ro.closeStreams(eng); err != nil {
+		return nil, err
 	}
 	if ro.collector == nil {
 		return nil, nil

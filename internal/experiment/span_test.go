@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ewmac/internal/obs"
+	"ewmac/internal/sim"
+)
+
+// spanRun executes one small pinned scenario for p with span and slot
+// profiling on, capturing every Delivery event off the bus.
+func spanRun(t *testing.T, p Protocol) (spans, slots bytes.Buffer, deliveries []obs.Delivery) {
+	t.Helper()
+	cfg := Default(p)
+	cfg.Nodes = 16
+	cfg.Sinks = 3
+	cfg.OfferedLoadKbps = 0.8
+	cfg.SimTime = 60 * time.Second
+	cfg.Seed = 1
+	cfg.Observe = &Observe{
+		Spans:       &spans,
+		SlotProfile: &slots,
+		Recorder: obs.RecorderFunc(func(_ sim.Time, e obs.Event) {
+			if d, ok := e.(obs.Delivery); ok {
+				deliveries = append(deliveries, d)
+			}
+		}),
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("%s: %v", p, err)
+	}
+	return
+}
+
+type spanLine struct {
+	Type     string  `json:"span"`
+	XID      uint64  `json:"xid"`
+	Parent   uint64  `json:"parent"`
+	Complete bool    `json:"complete"`
+	Outcome  string  `json:"outcome"`
+	Bits     int     `json:"bits"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+}
+
+func parseSpans(t *testing.T, buf *bytes.Buffer) []spanLine {
+	t.Helper()
+	var out []spanLine
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var s spanLine
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		if s.Type == "meta" {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+var allProtocols = []Protocol{
+	ProtocolEWMAC, ProtocolSFAMA, ProtocolROPA, ProtocolCSMAC, ProtocolSALOHA,
+}
+
+// TestSpanCausalCoverage is the golden-seed causal-coverage check: for
+// every protocol, every Delivery event the run emits must carry a
+// lineage ID covered by exactly one complete handshake or extra span —
+// 100% causal coverage of the delivered traffic. The span stream is
+// also compared against a golden file (regenerate with UPDATE_SPANS=1)
+// so any change to span assembly is a conscious decision.
+func TestSpanCausalCoverage(t *testing.T) {
+	for _, p := range allProtocols {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			spans, slots, deliveries := spanRun(t, p)
+			lines := parseSpans(t, &spans)
+
+			if len(deliveries) == 0 {
+				t.Fatal("scenario delivered nothing; coverage check is vacuous")
+			}
+			complete := map[uint64]int{}
+			for _, s := range lines {
+				if (s.Type == "handshake" || s.Type == "extra") && s.Complete {
+					complete[s.XID]++
+				}
+			}
+			for _, d := range deliveries {
+				if d.XID == 0 {
+					t.Errorf("delivery origin=%d seq=%d has no lineage ID", d.Origin, d.Seq)
+					continue
+				}
+				if n := complete[d.XID]; n != 1 {
+					t.Errorf("delivery xid=%x covered by %d complete spans, want exactly 1", d.XID, n)
+				}
+			}
+
+			// Every slot line partitions its slot exactly.
+			assertSlotPartition(t, &slots)
+
+			golden(t, "spans_"+string(p)+".jsonl", spans.Bytes())
+		})
+	}
+}
+
+// assertSlotPartition checks every per-slot record's periods sum to the
+// slot length within 1e-6 s, and that the file carries a summary.
+func assertSlotPartition(t *testing.T, buf *bytes.Buffer) {
+	t.Helper()
+	var slotLen float64
+	var checked int
+	type rec struct {
+		Rec       string  `json:"rec"`
+		SlotLenS  float64 `json:"slot_len"`
+		Tx        float64 `json:"tx"`
+		Rx        float64 `json:"rx"`
+		Wait      float64 `json:"wait"`
+		Reclaimed float64 `json:"reclaimed"`
+		Guard     float64 `json:"guard"`
+		Exploit   float64 `json:"exploit"`
+		Slots     int64   `json:"slots"`
+		Nodes     int     `json:"nodes"`
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var sum *rec
+	for _, line := range lines {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad slotprof line %q: %v", line, err)
+		}
+		if r.Rec == "summary" {
+			sum = &r
+			slotLen = r.SlotLenS
+		}
+	}
+	if sum == nil {
+		t.Fatal("slot profile has no summary record")
+	}
+	if sum.Slots == 0 || sum.Nodes == 0 {
+		t.Fatalf("slot profile empty: %+v", sum)
+	}
+	for _, line := range lines {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Rec != "slot" {
+			continue
+		}
+		checked++
+		got := r.Tx + r.Rx + r.Wait + r.Reclaimed + r.Guard
+		if math.Abs(got-slotLen) > 1e-6 {
+			t.Errorf("slot periods sum to %.9f, want %.9f: %+v", got, slotLen, r)
+		}
+	}
+	if checked == 0 {
+		t.Error("no per-slot records to check")
+	}
+	// Whole-run totals partition the window too: nodes × slots × len.
+	total := sum.Tx + sum.Rx + sum.Wait + sum.Reclaimed + sum.Guard
+	want := float64(sum.Nodes) * float64(sum.Slots) * slotLen
+	if math.Abs(total-want) > 1e-3 {
+		t.Errorf("summary periods sum to %.6f, want %.6f", total, want)
+	}
+}
+
+// golden compares got against testdata/name, regenerating when
+// UPDATE_SPANS=1.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_SPANS") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with UPDATE_SPANS=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("span stream differs from %s (%d vs %d bytes); regenerate with UPDATE_SPANS=1 if intended",
+			path, len(got), len(want))
+	}
+}
+
+// TestSpanExploitationOrdering pins the paper's core qualitative claim
+// at the profiler level: EW-MAC converts waiting windows into extra
+// transfer, S-FAMA never does.
+func TestSpanExploitationOrdering(t *testing.T) {
+	ratio := func(p Protocol) float64 {
+		_, slots, _ := spanRun(t, p)
+		var sum struct {
+			Rec     string  `json:"rec"`
+			Exploit float64 `json:"exploit"`
+		}
+		found := false
+		for _, line := range strings.Split(strings.TrimSpace(slots.String()), "\n") {
+			if err := json.Unmarshal([]byte(line), &sum); err != nil {
+				t.Fatal(err)
+			}
+			if sum.Rec == "summary" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no summary", p)
+		}
+		return sum.Exploit
+	}
+	ew := ratio(ProtocolEWMAC)
+	sf := ratio(ProtocolSFAMA)
+	if sf != 0 {
+		t.Errorf("S-FAMA exploitation ratio = %g, want exactly 0 (no extra path)", sf)
+	}
+	if ew <= sf {
+		t.Errorf("EW-MAC exploitation ratio %g not above S-FAMA's %g", ew, sf)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"ewmac/internal/experiment"
 	"ewmac/internal/metrics"
+	"ewmac/internal/obs"
 	"ewmac/internal/runner"
 	"ewmac/internal/sim"
 )
@@ -45,6 +46,11 @@ type Options struct {
 	Budget  sim.Budget
 	Retries int
 	Backoff time.Duration
+	// Live, when non-nil, receives every run's event stream plus the
+	// sweep's point-completion progress, feeding the -http
+	// introspection server. Live locks a mutex per event, so attach it
+	// only when a server is actually wanted.
+	Live *obs.Live
 }
 
 func (o *Options) applyDefaults() {
@@ -164,16 +170,26 @@ func sweep(id, title, xlabel, ylabel string, xs []float64, opts Options,
 		cfg := point(experiment.Protocol(k.Protocol), k.X)
 		cfg.SimTime = opts.SimTime
 		cfg.Budget = b
+		if opts.Live != nil {
+			if cfg.Observe == nil {
+				cfg.Observe = &experiment.Observe{}
+			}
+			cfg.Observe.Recorder = obs.Multi(cfg.Observe.Recorder, opts.Live)
+		}
 		return experiment.RunMean(cfg, opts.Seeds)
 	}
-	recs, stats, err := runner.Sweep(keys, pf, runner.Options{
+	ropts := runner.Options{
 		Workers:  opts.Workers,
 		Manifest: opts.Manifest,
 		Budget:   opts.Budget,
 		Retries:  opts.Retries,
 		Backoff:  opts.Backoff,
 		OnEvent:  opts.Progress,
-	})
+	}
+	if opts.Live != nil {
+		ropts.OnPoint = func(done, total int) { opts.Live.Progress(done, total, id) }
+	}
+	recs, stats, err := runner.Sweep(keys, pf, ropts)
 	if err != nil {
 		return nil, fmt.Errorf("figures %s: %w", id, err)
 	}

@@ -200,6 +200,11 @@ type Base struct {
 	// holdUntil suspends contention and CTS granting while an
 	// extra-communication exchange owns the transducer's near future.
 	holdUntil sim.Time
+	// xidSeq allocates exchange-lineage IDs; curXID/rxXID are the
+	// lineage of the in-flight sender/receiver handshake.
+	xidSeq uint64
+	curXID uint64
+	rxXID  uint64
 	// seen dedupes retransmitted payloads: origin<<32|seq.
 	seen map[uint64]struct{}
 	// lastProbe rate-limits unicast delay probes per peer.
@@ -302,6 +307,15 @@ func (b *Base) CountersRef() *Counters { return &b.counters }
 
 // QueueLen implements Protocol.
 func (b *Base) QueueLen() int { return b.queue.Len() }
+
+// NewXID allocates a fresh exchange-lineage ID, unique across the run:
+// the high half is the node, the low half a per-node counter. It draws
+// no randomness, so allocating (or not) never shifts the RNG streams
+// behind the determinism guarantees.
+func (b *Base) NewXID() uint64 {
+	b.xidSeq++
+	return uint64(b.cfg.ID)<<32 | b.xidSeq
+}
 
 // SetHold suspends base contention and CTS granting until t; protocols
 // use it while an extra exchange owns the near future. Zero clears.
@@ -427,6 +441,8 @@ func (b *Base) Restart() {
 	b.rxDataFrame = nil
 	b.rxGotData = false
 	b.holdUntil = 0
+	b.curXID = 0
+	b.rxXID = 0
 	b.table.Clear()
 	b.ledger.Clear()
 	b.lastProbe = make(map[packet.NodeID]sim.Time)
@@ -505,7 +521,7 @@ func (b *Base) onSlotStart(s int64) {
 			// No CTS arrived: contention failed.
 			b.counters.ContentionFailures++
 			if b.Observing() {
-				b.Emit(obs.Contention{Node: b.cfg.ID, Peer: b.cur.Dst, Outcome: obs.ContentionTimeout, Slot: s})
+				b.Emit(obs.Contention{Node: b.cfg.ID, Peer: b.cur.Dst, Outcome: obs.ContentionTimeout, Slot: s, XID: b.curXID})
 			}
 			b.failRound(s)
 		}
@@ -569,12 +585,14 @@ func (b *Base) receiverGrant(s int64) {
 	cts := b.NewFrame(packet.KindCTS, winner.Src)
 	cts.PairDelay = tau
 	cts.DataBits = winner.DataBits
+	cts.XID = winner.XID
 	if err := b.SendNow(cts); err != nil {
 		return
 	}
+	b.rxXID = winner.XID
 	b.counters.CTSSent++
 	if b.Observing() {
-		b.Emit(obs.Contention{Node: b.cfg.ID, Peer: winner.Src, Outcome: obs.ContentionGrant, Slot: s})
+		b.Emit(obs.Contention{Node: b.cfg.ID, Peer: winner.Src, Outcome: obs.ContentionGrant, Slot: s, XID: winner.XID})
 		b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: winner.Src, Period: "II", Slot: s})
 	}
 	b.setRole(RoleWaitData)
@@ -620,12 +638,14 @@ func (b *Base) maybeContend(s int64) {
 	rts.DataBits = head.Bits
 	rts.PairDelay = tau
 	rts.RP = b.randomPriority(s)
+	rts.XID = b.NewXID()
 	if err := b.SendNow(rts); err != nil {
 		return
 	}
+	b.curXID = rts.XID
 	b.counters.RTSSent++
 	if b.Observing() {
-		b.Emit(obs.Contention{Node: b.cfg.ID, Peer: head.Dst, Outcome: obs.ContentionRTS, Slot: s})
+		b.Emit(obs.Contention{Node: b.cfg.ID, Peer: head.Dst, Outcome: obs.ContentionRTS, Slot: s, XID: rts.XID})
 		b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: head.Dst, Period: "I", Slot: s})
 	}
 	b.setRole(RoleWaitCTS)
@@ -660,6 +680,7 @@ func (b *Base) transmitData(s int64) {
 	f.Origin = b.cur.Origin
 	f.GeneratedAt = b.cur.GeneratedAt
 	f.PairDelay = b.curTau
+	f.XID = b.curXID
 	if err := b.SendNow(f); err != nil {
 		b.failRound(s)
 		return
@@ -676,6 +697,7 @@ func (b *Base) finishReceive(s int64) {
 		ack := b.NewFrame(packet.KindAck, b.rxSender)
 		ack.Seq = b.rxDataFrame.Seq
 		ack.PairDelay = b.rxTau
+		ack.XID = b.rxXID
 		if err := b.SendNow(ack); err == nil {
 			if b.Observing() {
 				b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: b.rxSender, Period: "VI", Slot: s})
@@ -707,7 +729,7 @@ func (b *Base) deliverData(f *packet.Frame, extra bool) {
 	if b.Observing() {
 		b.Emit(obs.Delivery{
 			Node: b.cfg.ID, Origin: f.Origin, Seq: f.Seq,
-			Bits: f.DataBits, Latency: latency, Extra: extra,
+			Bits: f.DataBits, Latency: latency, Extra: extra, XID: f.XID,
 		})
 	}
 }
@@ -907,7 +929,7 @@ func (b *Base) onRTS(f *packet.Frame) {
 	if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
 		// My target is itself contending for someone else.
 		if b.Observing() {
-			b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: sendSlot})
+			b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: sendSlot, XID: b.curXID})
 		}
 		b.hooks.OnContentionLost(f)
 	}
@@ -923,7 +945,7 @@ func (b *Base) onCTS(f *packet.Frame, now sim.Time) {
 				b.curTau = tau
 			}
 			if b.Observing() {
-				b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionWon, Slot: ctsSlot})
+				b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionWon, Slot: ctsSlot, XID: b.curXID})
 				b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: f.Src, Period: "III", Slot: ctsSlot})
 			}
 			b.setRole(RoleSendData)
@@ -936,7 +958,7 @@ func (b *Base) onCTS(f *packet.Frame, now sim.Time) {
 	if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
 		// My target granted someone else.
 		if b.Observing() {
-			b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: ctsSlot})
+			b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: ctsSlot, XID: b.curXID})
 		}
 		b.hooks.OnContentionLost(f)
 	}

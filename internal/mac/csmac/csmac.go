@@ -60,6 +60,10 @@ func (o *Options) applyDefaults() {
 type stealState struct {
 	pkt     mac.AppPacket
 	timeout sim.Handle
+	// xid is the steal's exchange lineage; parent is the primary
+	// handshake (the overheard CTS) whose gap it steals.
+	xid    uint64
+	parent uint64
 }
 
 // MAC is the CS-MAC protocol.
@@ -200,7 +204,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	// whole steal must be received at j before the negotiated data
 	// lands there.
 	if dur+m.opts.Guard > tauPair {
-		m.recordExtra(j, obs.ExtraDeny, "gap-too-small")
+		m.recordExtra(j, obs.ExtraDeny, "gap-too-small", 0, f.XID)
 		return
 	}
 	slots := m.Slots()
@@ -208,16 +212,17 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	dataLands := slots.StartOf(ctsSlot + 1).Add(tauPair)
 	sendT := now.Add(m.opts.Guard)
 	if sendT.Add(tau + dur + m.opts.Guard).After(dataLands) {
-		m.recordExtra(j, obs.ExtraDeny, "too-late")
+		m.recordExtra(j, obs.ExtraDeny, "too-late", 0, f.XID)
 		return
 	}
 
 	data := m.NewFrame(packet.KindStolenData, j)
+	data.XID = m.NewXID()
 	data.DataBits = pkt.Bits
 	data.Seq = pkt.Seq
 	data.Origin = pkt.Origin
 	data.GeneratedAt = pkt.GeneratedAt
-	st := &stealState{pkt: pkt}
+	st := &stealState{pkt: pkt, xid: data.XID, parent: f.XID}
 	m.steal = st
 	// j acknowledges only after its negotiated exchange: wait through
 	// that exchange's ack slot plus the return propagation.
@@ -226,7 +231,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	m.SetHold(deadline)
 	m.SendAt(sendT, data, func(error) { m.abort(st, false) })
 	m.CountersRef().ExtraAttempts++
-	m.recordExtra(j, obs.ExtraRequest, "")
+	m.recordExtra(j, obs.ExtraRequest, "", st.xid, st.parent)
 	st.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.steal == st {
 			m.abort(st, true)
@@ -243,7 +248,7 @@ func (m *MAC) abort(st *stealState, failed bool) {
 	if failed {
 		m.CountersRef().Retransmissions++
 		m.CountersRef().RetransmittedBits += uint64(st.pkt.Bits)
-		m.recordExtra(st.pkt.Dst, obs.ExtraAbort, "steal-unacked")
+		m.recordExtra(st.pkt.Dst, obs.ExtraAbort, "steal-unacked", st.xid, st.parent)
 	}
 	st.timeout.Cancel()
 	m.steal = nil
@@ -256,6 +261,7 @@ func (m *MAC) OnExtraFrame(f *packet.Frame) {
 	case packet.KindStolenData:
 		m.DeliverData(f, true)
 		ack := m.NewFrame(packet.KindEXAck, f.Src)
+		ack.XID = f.XID
 		ack.Seq = f.Seq
 		ack.Origin = f.Origin
 		// The stolen data landed in this node's waiting window; the
@@ -273,7 +279,7 @@ func (m *MAC) OnExtraFrame(f *packet.Frame) {
 			return
 		}
 		m.CountersRef().ExtraCompletions++
-		m.recordExtra(f.Src, obs.ExtraComplete, "")
+		m.recordExtra(f.Src, obs.ExtraComplete, "", st.xid, st.parent)
 		m.CompleteBySeq(st.pkt.Origin, st.pkt.Seq)
 		m.abort(st, false)
 	default:
@@ -281,9 +287,9 @@ func (m *MAC) OnExtraFrame(f *packet.Frame) {
 }
 
 // recordExtra emits one stealing-lifecycle event when observing.
-func (m *MAC) recordExtra(peer packet.NodeID, action, reason string) {
+func (m *MAC) recordExtra(peer packet.NodeID, action, reason string, xid, parent uint64) {
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: action, Reason: reason})
+		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: action, Reason: reason, XID: xid, Parent: parent})
 	}
 }
 

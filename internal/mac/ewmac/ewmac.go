@@ -71,6 +71,10 @@ type extraAttempt struct {
 	pkt     mac.AppPacket
 	phase   extraPhase
 	timeout sim.Handle
+	// xid is the exchange lineage shared by every frame of this extra
+	// exchange; parent is the primary handshake it exploits.
+	xid    uint64
+	parent uint64
 }
 
 // grantedExtra is the receiver-side record of an extra grant.
@@ -229,6 +233,7 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 
 	exr := m.NewFrame(packet.KindEXR, cause.Src)
 	exr.DataBits = pkt.Bits
+	exr.XID = m.NewXID()
 	m.Piggyback(exr) // sized before scheduling so duration is exact
 	exrDur := m.FrameTx(exr)
 
@@ -248,7 +253,7 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 		return
 	}
 
-	att := &extraAttempt{target: cause.Src, pkt: pkt, phase: phaseRequested}
+	att := &extraAttempt{target: cause.Src, pkt: pkt, phase: phaseRequested, xid: exr.XID, parent: cause.XID}
 	m.extra = att
 	// EXC should be back after roughly twice the propagation delay
 	// (paper §4.2); time out shortly after.
@@ -257,11 +262,13 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 	m.SendAt(sendT, exr, func(error) { m.abortExtra(att) })
 	m.CountersRef().ExtraAttempts++
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: cause.Src, Action: obs.ExtraRequest})
+		m.Emit(obs.Extra{Node: m.ID(), Peer: cause.Src, Action: obs.ExtraRequest, XID: att.xid, Parent: att.parent})
 	}
 	att.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.extra == att && att.phase == phaseRequested {
-			m.denyExtra(att.target, "exc-timeout")
+			if m.Observing() {
+				m.Emit(obs.Extra{Node: m.ID(), Peer: att.target, Action: obs.ExtraDeny, Reason: "exc-timeout", XID: att.xid, Parent: att.parent})
+			}
 			m.abortExtra(att)
 		}
 	})
@@ -276,9 +283,9 @@ func (m *MAC) denyExtra(peer packet.NodeID, reason string) {
 }
 
 // recordAbort records an in-flight extra attempt being abandoned.
-func (m *MAC) recordAbort(peer packet.NodeID, reason string) {
+func (m *MAC) recordAbort(att *extraAttempt, reason string) {
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: obs.ExtraAbort, Reason: reason})
+		m.Emit(obs.Extra{Node: m.ID(), Peer: att.target, Action: obs.ExtraAbort, Reason: reason, XID: att.xid, Parent: att.parent})
 	}
 }
 
@@ -360,6 +367,7 @@ func (m *MAC) onEXR(f *packet.Frame) {
 	}
 	exc := m.NewFrame(packet.KindEXC, f.Src)
 	exc.DataBits = f.DataBits
+	exc.XID = f.XID
 	m.Piggyback(exc)
 	excDur := m.FrameTx(exc)
 
@@ -383,7 +391,7 @@ func (m *MAC) onEXR(f *packet.Frame) {
 		return
 	}
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraGrant})
+		m.Emit(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraGrant, XID: f.XID})
 	}
 	dataDur := m.DataTx(f.DataBits)
 	m.granted = &grantedExtra{from: f.Src, bits: f.DataBits, at: grantAt}
@@ -417,7 +425,7 @@ func (m *MAC) onEXC(f *packet.Frame) {
 	dataDur := m.DataTx(att.pkt.Bits)
 	if !known || sendT.Before(now.Add(guard)) ||
 		!m.clearAtNeighbors(sendT, dataDur, att.target) {
-		m.recordAbort(att.target, "grant-unusable")
+		m.recordAbort(att, "grant-unusable")
 		m.abortExtra(att)
 		return
 	}
@@ -425,6 +433,7 @@ func (m *MAC) onEXC(f *packet.Frame) {
 	att.phase = phaseGranted
 
 	data := m.NewFrame(packet.KindEXData, att.target)
+	data.XID = att.xid
 	data.DataBits = att.pkt.Bits
 	data.Seq = att.pkt.Seq
 	data.Origin = att.pkt.Origin
@@ -440,7 +449,7 @@ func (m *MAC) onEXC(f *packet.Frame) {
 			return
 		}
 		if !m.clearAtNeighbors(m.Engine().Now(), dataDur, att.target) {
-			m.recordAbort(att.target, "late-neighbor-conflict")
+			m.recordAbort(att, "late-neighbor-conflict")
 			m.abortExtra(att)
 			return
 		}
@@ -462,6 +471,7 @@ func (m *MAC) onEXC(f *packet.Frame) {
 func (m *MAC) onEXData(f *packet.Frame) {
 	m.DeliverData(f, true)
 	ack := m.NewFrame(packet.KindEXAck, f.Src)
+	ack.XID = f.XID
 	ack.Seq = f.Seq
 	ack.Origin = f.Origin
 	_ = m.SendNow(ack) // if the transducer is busy the sender retries normally
@@ -479,7 +489,7 @@ func (m *MAC) onEXAck(f *packet.Frame) {
 	}
 	m.CountersRef().ExtraCompletions++
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraComplete})
+		m.Emit(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraComplete, XID: att.xid, Parent: att.parent})
 	}
 	if !m.CompleteHead(att.pkt.Origin, att.pkt.Seq) {
 		m.CompleteBySeq(att.pkt.Origin, att.pkt.Seq)

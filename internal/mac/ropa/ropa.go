@@ -58,12 +58,17 @@ type rtaState struct {
 	pkt     mac.AppPacket
 	granted bool
 	timeout sim.Handle
+	// xid is the appended exchange's lineage; parent is the primary
+	// handshake (the overheard RTS) whose waiting window it exploits.
+	xid    uint64
+	parent uint64
 }
 
 // appendReq is the primary sender's record of a pending RTA.
 type appendReq struct {
 	from packet.NodeID
 	bits int
+	xid  uint64
 }
 
 // MAC is the ROPA protocol.
@@ -182,20 +187,21 @@ func (m *MAC) OnNegotiated(*packet.Frame) {
 	now := m.Engine().Now()
 	exc := m.NewFrame(packet.KindEXC, req.from)
 	exc.DataBits = req.bits
+	exc.XID = req.xid
 	m.Piggyback(exc)
 	if busyAt, busy := m.NextBusyAt(); busy {
 		if now.Add(m.FrameTx(exc) + m.opts.Guard).After(busyAt) {
-			m.recordExtra(req.from, obs.ExtraDeny, "gap-too-small")
+			m.recordExtra(req.from, obs.ExtraDeny, "gap-too-small", req.xid, 0)
 			return
 		}
 	}
 	grantAt := m.PrimaryFreeAt().Add(2 * m.opts.Guard)
 	exc.GrantAt = grantAt.Duration()
 	if err := m.SendNow(exc); err != nil {
-		m.recordExtra(req.from, obs.ExtraDeny, "transducer-busy")
+		m.recordExtra(req.from, obs.ExtraDeny, "transducer-busy", req.xid, 0)
 		return
 	}
-	m.recordExtra(req.from, obs.ExtraGrant, "")
+	m.recordExtra(req.from, obs.ExtraGrant, "", req.xid, 0)
 	// Stay off the channel until the appended exchange finishes.
 	release := grantAt.Add(m.DataTx(req.bits) + m.ControlTx() + 8*m.opts.Guard)
 	m.SetHold(release)
@@ -235,6 +241,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	pkt := m.Queue().Items()[idx]
 	rta := m.NewFrame(packet.KindRTA, f.Src)
 	rta.DataBits = pkt.Bits
+	rta.XID = m.NewXID()
 	m.Piggyback(rta)
 	rtaDur := m.FrameTx(rta)
 
@@ -261,7 +268,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 		}
 	}
 
-	st := &rtaState{target: f.Src, pkt: pkt}
+	st := &rtaState{target: f.Src, pkt: pkt, xid: rta.XID, parent: f.XID}
 	m.pending = st
 	// The grant (EXC) can only come after the sender receives its CTS:
 	// allow until the end of the data slot.
@@ -269,7 +276,7 @@ func (m *MAC) OnOverheard(f *packet.Frame) {
 	m.SetHold(deadline)
 	m.SendAt(sendT, rta, func(error) { m.abort(st) })
 	m.CountersRef().ExtraAttempts++
-	m.recordExtra(f.Src, obs.ExtraRequest, "")
+	m.recordExtra(f.Src, obs.ExtraRequest, "", st.xid, st.parent)
 	st.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.pending == st && !st.granted {
 			m.abort(st)
@@ -287,9 +294,9 @@ func (m *MAC) abort(st *rtaState) {
 }
 
 // recordExtra emits one appending-lifecycle event when observing.
-func (m *MAC) recordExtra(peer packet.NodeID, action, reason string) {
+func (m *MAC) recordExtra(peer packet.NodeID, action, reason string, xid, parent uint64) {
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: action, Reason: reason})
+		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: action, Reason: reason, XID: xid, Parent: parent})
 	}
 }
 
@@ -300,13 +307,14 @@ func (m *MAC) OnExtraFrame(f *packet.Frame) {
 		// Primary sender: remember the first appended request made
 		// while we wait for our CTS.
 		if m.Role() == mac.RoleWaitCTS && m.request == nil {
-			m.request = &appendReq{from: f.Src, bits: f.DataBits}
+			m.request = &appendReq{from: f.Src, bits: f.DataBits, xid: f.XID}
 		}
 	case packet.KindEXC:
 		m.onGrant(f)
 	case packet.KindEXData:
 		m.DeliverData(f, true)
 		ack := m.NewFrame(packet.KindEXAck, f.Src)
+		ack.XID = f.XID
 		ack.Seq = f.Seq
 		ack.Origin = f.Origin
 		_ = m.SendNow(ack)
@@ -316,7 +324,7 @@ func (m *MAC) OnExtraFrame(f *packet.Frame) {
 			return
 		}
 		m.CountersRef().ExtraCompletions++
-		m.recordExtra(f.Src, obs.ExtraComplete, "")
+		m.recordExtra(f.Src, obs.ExtraComplete, "", st.xid, st.parent)
 		m.CompleteBySeq(st.pkt.Origin, st.pkt.Seq)
 		m.abort(st)
 	default:
@@ -344,6 +352,7 @@ func (m *MAC) onGrant(f *packet.Frame) {
 	st.granted = true
 	st.timeout.Cancel()
 	data := m.NewFrame(packet.KindEXData, st.target)
+	data.XID = st.xid
 	data.DataBits = st.pkt.Bits
 	data.Seq = st.pkt.Seq
 	data.Origin = st.pkt.Origin

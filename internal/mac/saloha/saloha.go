@@ -33,6 +33,10 @@ type MAC struct {
 	waitingAck  bool
 	ackDeadline int64
 	sentSeq     uint32
+	// xidSeq allocates exchange-lineage IDs; sentXID is the lineage of
+	// the data transmission currently awaiting its Ack.
+	xidSeq      uint64
+	sentXID     uint64
 	backoffLeft int
 	cw          int
 	attempts    int
@@ -199,6 +203,10 @@ func (m *MAC) onSlot(s int64) {
 		m.backoffLeft--
 		return
 	}
+	// Each transmission attempt is its own exchange: a retransmission
+	// after a lost Ack gets a fresh lineage, like a fresh RTS round in
+	// the handshake protocols.
+	m.xidSeq++
 	f := &packet.Frame{
 		Kind:        packet.KindData,
 		Src:         m.cfg.ID,
@@ -208,12 +216,14 @@ func (m *MAC) onSlot(s int64) {
 		GeneratedAt: head.GeneratedAt,
 		DataBits:    head.Bits,
 		Timestamp:   m.localNow().Duration(),
+		XID:         uint64(m.cfg.ID)<<32 | m.xidSeq,
 	}
 	if err := m.cfg.Modem.Transmit(f); err != nil {
 		return
 	}
 	m.setWaiting(true, s)
 	m.sentSeq = head.Seq
+	m.sentXID = f.XID
 	// The data may span several slots (Equation (5)); the Ack comes one
 	// slot after it fully arrives, worst case τmax away.
 	dataTx := packet.Duration(packet.DataHeaderBits+head.Bits, m.cfg.BitRate)
@@ -239,13 +249,13 @@ func (m *MAC) OnFrameReceived(f *packet.Frame) {
 			if m.cfg.Recorder != nil {
 				m.emit(obs.Delivery{
 					Node: m.cfg.ID, Origin: f.Origin, Seq: f.Seq,
-					Bits: f.DataBits, Latency: latency,
+					Bits: f.DataBits, Latency: latency, XID: f.XID,
 				})
 			}
 		}
 		ack := &packet.Frame{
 			Kind: packet.KindAck, Src: m.cfg.ID, Dst: f.Src, Seq: f.Seq,
-			Timestamp: m.localNow().Duration(),
+			Timestamp: m.localNow().Duration(), XID: f.XID,
 		}
 		// The Ack goes out at the next slot boundary to keep the
 		// channel slot-aligned.
@@ -277,7 +287,7 @@ func (m *MAC) emitTimeout(slot int64) {
 		if head, ok := m.queue.Peek(); ok {
 			m.emit(obs.Contention{
 				Node: m.cfg.ID, Peer: head.Dst,
-				Outcome: obs.ContentionTimeout, Slot: slot,
+				Outcome: obs.ContentionTimeout, Slot: slot, XID: m.sentXID,
 			})
 		}
 	}

@@ -49,6 +49,7 @@ type frameRef struct {
 	Seq    uint32 `json:"seq"`
 	Origin uint16 `json:"origin,omitempty"`
 	Bits   int    `json:"bits"`
+	XID    uint64 `json:"xid,omitempty"`
 }
 
 func flatten(f *packet.Frame) frameRef {
@@ -59,6 +60,7 @@ func flatten(f *packet.Frame) frameRef {
 		Seq:    f.Seq,
 		Origin: uint16(f.Origin),
 		Bits:   f.Bits(),
+		XID:    f.XID,
 	}
 }
 
@@ -118,7 +120,8 @@ func (j *JSONL) Record(at sim.Time, e Event) {
 			Peer    uint16 `json:"peer"`
 			Outcome string `json:"outcome"`
 			Slot    int64  `json:"slot"`
-		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Outcome, ev.Slot}
+			XID     uint64 `json:"xid,omitempty"`
+		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Outcome, ev.Slot, ev.XID}
 	case SlotPeriod:
 		line = struct {
 			header
@@ -136,7 +139,8 @@ func (j *JSONL) Record(at sim.Time, e Event) {
 			Bits     int     `json:"bits"`
 			LatencyS float64 `json:"latency"`
 			Extra    bool    `json:"extra,omitempty"`
-		}{h, uint16(ev.Node), uint16(ev.Origin), ev.Seq, ev.Bits, ev.Latency.Seconds(), ev.Extra}
+			XID      uint64  `json:"xid,omitempty"`
+		}{h, uint16(ev.Node), uint16(ev.Origin), ev.Seq, ev.Bits, ev.Latency.Seconds(), ev.Extra, ev.XID}
 	case Extra:
 		line = struct {
 			header
@@ -144,7 +148,9 @@ func (j *JSONL) Record(at sim.Time, e Event) {
 			Peer   uint16 `json:"peer"`
 			Action string `json:"action"`
 			Reason string `json:"reason,omitempty"`
-		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Action, ev.Reason}
+			XID    uint64 `json:"xid,omitempty"`
+			Parent uint64 `json:"parent,omitempty"`
+		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Action, ev.Reason, ev.XID, ev.Parent}
 	case Fault:
 		line = struct {
 			header

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"ewmac/internal/sim"
+)
+
+// Live is the run-introspection endpoint: a thread-safe Collector
+// wrapper plus an http.Handler exposing
+//
+//	/metrics      — Prometheus text snapshot of the collected counters,
+//	                plus sweep progress gauges
+//	/progress     — the same progress as JSON
+//	/debug/pprof/ — the standard Go profiler endpoints
+//
+// The simulation goroutine feeds it through Record (it implements
+// Recorder, so it composes with Multi like any other consumer); the
+// runner feeds sweep progress through Progress; HTTP handlers read
+// both under the same mutex. Unlike every other recorder, Record here
+// takes a lock — attach Live only when a server is actually wanted.
+type Live struct {
+	mu       sync.Mutex
+	coll     *Collector
+	protocol string
+	seed     int64
+	nodes    int
+	done     int
+	total    int
+	label    string
+	started  time.Time
+}
+
+// NewLive returns an empty Live endpoint.
+func NewLive() *Live {
+	return &Live{coll: NewCollector(), started: time.Now()}
+}
+
+// Record implements Recorder.
+func (l *Live) Record(at sim.Time, e Event) {
+	l.mu.Lock()
+	l.coll.Record(at, e)
+	l.mu.Unlock()
+}
+
+// SetRun labels the metrics with the run identity. Sweeps running many
+// configurations keep one Live across all of them; the label reflects
+// the most recent run to start.
+func (l *Live) SetRun(protocol string, seed int64, nodes int) {
+	l.mu.Lock()
+	l.protocol, l.seed, l.nodes = protocol, seed, nodes
+	l.mu.Unlock()
+}
+
+// Progress updates the sweep progress gauges (done of total points;
+// label names the sweep or figure being computed).
+func (l *Live) Progress(done, total int, label string) {
+	l.mu.Lock()
+	l.done, l.total, l.label = done, total, label
+	l.mu.Unlock()
+}
+
+// progressState is the /progress JSON document.
+type progressState struct {
+	Protocol      string  `json:"protocol,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Nodes         int     `json:"nodes,omitempty"`
+	Label         string  `json:"label,omitempty"`
+	Done          int     `json:"done"`
+	Total         int     `json:"total"`
+	UptimeSeconds float64 `json:"uptime_s"`
+}
+
+func (l *Live) snapshot() (*RunReport, progressState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := l.coll.Report(l.coll.lastAt.Seconds())
+	r.Protocol = l.protocol
+	r.Seed = l.seed
+	r.Nodes = l.nodes
+	p := progressState{
+		Protocol: l.protocol, Seed: l.seed, Nodes: l.nodes,
+		Label: l.label, Done: l.done, Total: l.total,
+		UptimeSeconds: time.Since(l.started).Seconds(),
+	}
+	return r, p
+}
+
+// Handler returns the introspection mux.
+func (l *Live) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		report, p := l.snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = report.WriteProm(w)
+		writePromGauge(w, "uasn_sweep_points_total", "Points in the running sweep.", float64(p.Total))
+		writePromGauge(w, "uasn_sweep_points_done", "Points completed so far.", float64(p.Done))
+		writePromGauge(w, "uasn_uptime_seconds", "Seconds since the server started.", p.UptimeSeconds)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		_, p := l.snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writePromGauge(w http.ResponseWriter, name, help string, v float64) {
+	_, _ = w.Write([]byte("# HELP " + name + " " + help + "\n# TYPE " + name + " gauge\n"))
+	_, _ = w.Write([]byte(name + " " + formatFloat(v) + "\n"))
+}
+
+func formatFloat(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// Serve starts the introspection server on addr in a background
+// goroutine and returns the bound listener address (useful with
+// ":0"). The server lives until the process exits; run introspection
+// is a debugging aid, not a managed service.
+func (l *Live) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: l.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ewmac/internal/sim"
+)
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestLiveEndpoints drives the introspection handler end to end: feed
+// events and progress, then read them back through /metrics and
+// /progress.
+func TestLiveEndpoints(t *testing.T) {
+	l := NewLive()
+	l.SetRun("EW-MAC", 7, 20)
+	l.Progress(3, 9, "fig6")
+	l.Record(sim.At(time.Second), Delivery{Bits: 2048})
+	l.Record(sim.At(2*time.Second), Delivery{Bits: 2048})
+
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	metrics := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`uasn_delivered_packets{protocol="EW-MAC"} 2`,
+		"uasn_sweep_points_total 9",
+		"uasn_sweep_points_done 3",
+		"# TYPE uasn_uptime_seconds gauge",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	var p struct {
+		Protocol string `json:"protocol"`
+		Seed     int64  `json:"seed"`
+		Nodes    int    `json:"nodes"`
+		Label    string `json:"label"`
+		Done     int    `json:"done"`
+		Total    int    `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/progress")), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Protocol != "EW-MAC" || p.Seed != 7 || p.Nodes != 20 ||
+		p.Label != "fig6" || p.Done != 3 || p.Total != 9 {
+		t.Errorf("/progress = %+v", p)
+	}
+
+	// pprof index responds.
+	if !strings.Contains(get(t, srv.URL+"/debug/pprof/"), "pprof") {
+		t.Error("/debug/pprof/ not serving")
+	}
+}
+
+// TestLiveServeBindsEphemeral: Serve on :0 returns a usable bound
+// address.
+func TestLiveServeBindsEphemeral(t *testing.T) {
+	l := NewLive()
+	addr, err := l.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(get(t, "http://"+addr+"/progress"), "uptime_s") {
+		t.Error("served /progress missing uptime")
+	}
+}

@@ -149,12 +149,15 @@ const (
 	ContentionGrant = "grant"
 )
 
-// Contention records one step of an RTS contention round.
+// Contention records one step of an RTS contention round. XID is the
+// exchange lineage of the handshake the step belongs to (zero when the
+// emitting protocol has no exchange in flight).
 type Contention struct {
 	Node    packet.NodeID
 	Peer    packet.NodeID
 	Outcome string
 	Slot    int64
+	XID     uint64
 }
 
 // Tag implements Event.
@@ -185,7 +188,8 @@ type SlotPeriod struct {
 func (SlotPeriod) Tag() string { return "mac.period" }
 
 // Delivery records one unique data payload accepted at its destination
-// (the same instant mac.Counters.DeliveredPackets increments).
+// (the same instant mac.Counters.DeliveredPackets increments). XID is
+// the lineage of the exchange that carried the payload.
 type Delivery struct {
 	Node    packet.NodeID
 	Origin  packet.NodeID
@@ -193,6 +197,7 @@ type Delivery struct {
 	Bits    int
 	Latency time.Duration
 	Extra   bool
+	XID     uint64
 }
 
 // Tag implements Event.
@@ -216,12 +221,17 @@ const (
 // Extra records one step of an extra-communication exchange (EW-MAC
 // EXR/EXC, ROPA appending, CS-MAC stealing). Reason is set on deny and
 // abort actions and names the admission rule that fired — the signal
-// for diagnosing a starved extra-communication path.
+// for diagnosing a starved extra-communication path. XID is the extra
+// exchange's own lineage (zero on pre-flight denials, before any frame
+// existed); Parent, when nonzero, is the XID of the primary handshake
+// whose waiting window the extra exchange exploits.
 type Extra struct {
 	Node   packet.NodeID
 	Peer   packet.NodeID
 	Action string
 	Reason string
+	XID    uint64
+	Parent uint64
 }
 
 // Tag implements Event.

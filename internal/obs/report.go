@@ -185,6 +185,18 @@ func (r *RunReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// promEscaper escapes a label value per the Prometheus text exposition
+// format, which allows exactly three escapes: \\, \", and \n. Go's %q
+// is close but wrong — it also emits \t and \xNN sequences, which
+// Prometheus parsers reject.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabel renders one label value, quoted and escaped for the
+// exposition format.
+func promLabel(v string) string {
+	return `"` + promEscaper.Replace(v) + `"`
+}
+
 // WriteProm renders the report as a Prometheus-style text snapshot
 // (counter and gauge families with a uasn_ prefix, labelled by
 // protocol). Keys within a family are emitted in sorted order so the
@@ -193,9 +205,9 @@ func (r *RunReport) WriteProm(w io.Writer) error {
 	var b strings.Builder
 	label := func(extra string) string {
 		if extra == "" {
-			return fmt.Sprintf(`{protocol=%q}`, r.Protocol)
+			return "{protocol=" + promLabel(r.Protocol) + "}"
 		}
-		return fmt.Sprintf(`{protocol=%q,%s}`, r.Protocol, extra)
+		return "{protocol=" + promLabel(r.Protocol) + "," + extra + "}"
 	}
 	family := func(name, help, typ string, m map[string]uint64, lbl string) {
 		if len(m) == 0 {
@@ -208,7 +220,7 @@ func (r *RunReport) WriteProm(w io.Writer) error {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Fprintf(&b, "%s%s %d\n", name, label(fmt.Sprintf("%s=%q", lbl, k)), m[k])
+			fmt.Fprintf(&b, "%s%s %d\n", name, label(lbl+"="+promLabel(k)), m[k])
 		}
 	}
 	scalar := func(name, help, typ string, v float64) {

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromLabel covers the Prometheus exposition-format escaping rules:
+// backslash, double quote, and newline are escaped; everything else —
+// including tabs and non-ASCII — passes through raw (Go's %q escapes,
+// like \t and \xNN, are invalid in the exposition format).
+func TestPromLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", `"plain"`},
+		{"", `""`},
+		{`say "hi"`, `"say \"hi\""`},
+		{`back\slash`, `"back\\slash"`},
+		{"two\nlines", `"two\nlines"`},
+		{"tab\there", "\"tab\there\""},
+		{"ünïcodé", `"ünïcodé"`},
+		{"\\\"\n", `"\\\"\n"`},
+	}
+	for _, c := range cases {
+		if got := promLabel(c.in); got != c.want {
+			t.Errorf("promLabel(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWritePromEscapesLabelValues: label values with quotes, backslashes
+// and newlines reach the exposition output escaped, not as Go-quoted
+// strings.
+func TestWritePromEscapesLabelValues(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, Delivery{Bits: 1024})
+	c.Record(0, FrameLoss{Reason: "odd \"reason\"\\with\nnewline"})
+	r := c.Report(1)
+	r.Protocol = `EW"MAC\v1`
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`protocol="EW\"MAC\\v1"`,
+		`reason="odd \"reason\"\\with\nnewline"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q\n%s", want, out)
+		}
+	}
+	// Every line must still be a single physical line: the raw newline
+	// inside the reason label must not split its sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "uasn_losses_total") && !strings.HasSuffix(strings.TrimSpace(line), "1") {
+			t.Errorf("label newline split a sample line: %q", line)
+		}
+	}
+	if strings.Contains(out, `\x`) {
+		t.Errorf("Go-style hex escapes leaked into prom output:\n%s", out)
+	}
+}

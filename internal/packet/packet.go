@@ -167,6 +167,14 @@ type Frame struct {
 	// for latency accounting; meaningful on data kinds only.
 	GeneratedAt time.Duration
 
+	// XID is simulator-side exchange-lineage metadata: every frame of
+	// one handshake or extra exchange carries the same nonzero value, so
+	// observability consumers can fold raw events into causal spans. It
+	// is not part of the wire format (MarshalBinary skips it) and does
+	// not contribute to Bits() — a real MAC would recover the lineage
+	// from (src, dst, kind, seq), which the simulator shortcuts.
+	XID uint64
+
 	// shared marks a frame handed to multiple consumers (every receiver
 	// of one broadcast). A shared frame is read-only by contract;
 	// Mutable gives would-be writers a private deep copy.

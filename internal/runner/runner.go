@@ -105,6 +105,11 @@ type Options struct {
 	// OnEvent, when non-nil, receives one human-readable line per
 	// supervision event (resume hit, retry, quarantine), serialized.
 	OnEvent func(string)
+	// OnPoint, when non-nil, receives sweep progress after each point
+	// settles: how many of the sweep's points have finished (done of
+	// total). Calls are serialized. Only Sweep invokes it; Supervise
+	// runs a single point and has no grid to report on.
+	OnPoint func(done, total int)
 }
 
 func (o *Options) workers() int {
@@ -212,7 +217,11 @@ func Sweep(keys []Key, run PointFunc, opts Options) ([]Record, Stats, error) {
 	recs := make([]Record, len(keys))
 	errs := make([]error, len(keys))
 	sem := make(chan struct{}, opts.workers())
-	var wg sync.WaitGroup
+	var (
+		wg     sync.WaitGroup
+		doneMu sync.Mutex
+		done   int
+	)
 	for i, k := range keys {
 		wg.Add(1)
 		go func(i int, k Key) {
@@ -220,6 +229,12 @@ func Sweep(keys []Key, run PointFunc, opts Options) ([]Record, Stats, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			recs[i], errs[i] = Supervise(k, run, opts)
+			if opts.OnPoint != nil {
+				doneMu.Lock()
+				done++
+				opts.OnPoint(done, len(keys))
+				doneMu.Unlock()
+			}
 		}(i, k)
 	}
 	wg.Wait()
