@@ -5,6 +5,7 @@
 //	figures -seeds 3 -sim 300s -workers 8 -csv out/ fig6 fig11
 //	figures -resume run.manifest -csv out/      # checkpoint + resume
 //	figures -deadline 10m -max-events 200e6 -retries 2
+//	figures -faults examples/faults/chaos.json  # every figure under faults
 //
 // With -resume, every finished sweep point is journaled to the given
 // manifest; re-running the same command after an interruption (even
@@ -17,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -24,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"ewmac/internal/fault"
 	"ewmac/internal/figures"
 	"ewmac/internal/obs"
 	"ewmac/internal/runner"
@@ -38,6 +41,7 @@ func run() int {
 	var (
 		seeds   = flag.Int("seeds", 3, "seeds averaged per data point")
 		simTime = flag.Duration("sim", 300*time.Second, "simulated time per run")
+		faults  = flag.String("faults", "", "fault-injection scenario JSON applied to every sweep point (see examples/faults/)")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 		workers = flag.Int("workers", 0, "max concurrent sweep points (0 = GOMAXPROCS, 1 = serial)")
@@ -56,6 +60,26 @@ func run() int {
 		Budget:  sim.Budget{Deadline: *deadline, MaxEvents: *maxEvents},
 		Retries: *retries,
 		Backoff: 100 * time.Millisecond,
+	}
+	// The scenario content (not the path) becomes part of the resume
+	// fingerprint below: pointing the same manifest at an edited
+	// scenario file must invalidate it, and renaming the file must not.
+	var faultsFP string
+	if *faults != "" {
+		scenario, err := fault.Load(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			return 1
+		}
+		opts.Faults = scenario
+		raw, err := os.ReadFile(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			return 1
+		}
+		h := fnv.New64a()
+		h.Write(raw)
+		faultsFP = fmt.Sprintf("%016x", h.Sum64())
 	}
 	for s := int64(1); s <= int64(*seeds); s++ {
 		opts.Seeds = append(opts.Seeds, s)
@@ -84,7 +108,7 @@ func run() int {
 		// The fingerprint covers exactly the inputs that determine point
 		// results; budget/worker/retry settings are free to change between
 		// the interrupted run and the resume.
-		fp := fmt.Sprintf("figures/v1|seeds=%d|sim=%s", *seeds, simTime.String())
+		fp := fmt.Sprintf("figures/v1|seeds=%d|sim=%s|faults=%s", *seeds, simTime.String(), faultsFP)
 		m, err := runner.OpenManifest(*resume, fp)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)

@@ -74,32 +74,55 @@ func run(args []string) int {
 	return 0
 }
 
-// forEachSpan streams every span line of path (skipping the meta line)
-// through fn, returning the meta line when present.
-func forEachSpan(path string, fn func(*span.Span)) (*span.Meta, error) {
+// scanLines streams path line by line through fn, with a 16 MB line
+// budget so wide JSONL records (dense fan-out spans, big frame dumps)
+// never hit bufio.Scanner's 64 KB default. A line fn rejects aborts
+// the scan — unless it is the file's last line: a run killed
+// mid-write commonly leaves its final line cut mid-object, and the
+// complete prefix is still worth querying, so that one line is
+// skipped with a warning instead.
+func scanLines(path string, fn func(ln int, line []byte) error) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
-	var meta *span.Meta
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for ln := 1; sc.Scan(); ln++ {
+		if err := fn(ln, sc.Bytes()); err != nil {
+			if sc.Scan() {
+				// More lines follow: mid-file corruption, not a torn tail.
+				return fmt.Errorf("%s:%d: %w", path, ln, err)
+			}
+			fmt.Fprintf(os.Stderr,
+				"tracetool: warning: %s:%d: skipping truncated trailing line (%v)\n", path, ln, err)
+			return sc.Err()
+		}
+	}
+	return sc.Err()
+}
+
+// forEachSpan streams every span line of path (skipping the meta line)
+// through fn, returning the meta line when present.
+func forEachSpan(path string, fn func(*span.Span)) (*span.Meta, error) {
+	var meta *span.Meta
+	err := scanLines(path, func(_ int, line []byte) error {
 		var s span.Span
-		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
-			return meta, fmt.Errorf("%s:%d: %w", path, ln, err)
+		if err := json.Unmarshal(line, &s); err != nil {
+			return err
 		}
 		if s.Type == "meta" {
 			var m span.Meta
-			if err := json.Unmarshal(sc.Bytes(), &m); err == nil {
+			if err := json.Unmarshal(line, &m); err == nil {
 				meta = &m
 			}
-			continue
+			return nil
 		}
 		fn(&s)
-	}
-	return meta, sc.Err()
+		return nil
+	})
+	return meta, err
 }
 
 func cmdSpans(args []string) error {
@@ -260,42 +283,35 @@ func cmdSlots(args []string) error {
 		return fmt.Errorf("slots: -in is required")
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
 	var nodes []slotprof.NodeRecord
 	var sum *slotprof.Summary
 	slotLines := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for ln := 1; sc.Scan(); ln++ {
+	err := scanLines(*in, func(_ int, line []byte) error {
 		var rec struct {
 			Rec string `json:"rec"`
 		}
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return fmt.Errorf("%s:%d: %w", *in, ln, err)
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return err
 		}
 		switch rec.Rec {
 		case "slot":
 			slotLines++
 		case "node":
 			var n slotprof.NodeRecord
-			if err := json.Unmarshal(sc.Bytes(), &n); err != nil {
-				return fmt.Errorf("%s:%d: %w", *in, ln, err)
+			if err := json.Unmarshal(line, &n); err != nil {
+				return err
 			}
 			nodes = append(nodes, n)
 		case "summary":
 			var s slotprof.Summary
-			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
-				return fmt.Errorf("%s:%d: %w", *in, ln, err)
+			if err := json.Unmarshal(line, &s); err != nil {
+				return err
 			}
 			sum = &s
 		}
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	})
+	if err != nil {
 		return err
 	}
 	if sum == nil {
@@ -330,37 +346,30 @@ func cmdEvents(args []string) error {
 		return fmt.Errorf("events: -in is required")
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
 	matched, shown := 0, 0
 	byTag := map[string]int{}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for ln := 1; sc.Scan(); ln++ {
+	err := scanLines(*in, func(_ int, line []byte) error {
 		var m map[string]any
-		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
-			return fmt.Errorf("%s:%d: %w", *in, ln, err)
+		if err := json.Unmarshal(line, &m); err != nil {
+			return err
 		}
 		tag, _ := m["event"].(string)
 		if *event != "" && tag != *event {
-			continue
+			return nil
 		}
 		if *node >= 0 && !lineMentions(m, float64(*node)) {
-			continue
+			return nil
 		}
 		matched++
 		byTag[tag]++
 		if *limit > 0 && shown >= *limit {
-			continue
+			return nil
 		}
 		shown++
-		fmt.Println(sc.Text())
-	}
-	if err := sc.Err(); err != nil {
+		fmt.Println(string(line))
+		return nil
+	})
+	if err != nil {
 		return err
 	}
 	tags := make([]string, 0, len(byTag))

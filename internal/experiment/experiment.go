@@ -28,6 +28,7 @@ import (
 	"ewmac/internal/obs/slotprof"
 	"ewmac/internal/packet"
 	"ewmac/internal/phy"
+	"ewmac/internal/resilience"
 	"ewmac/internal/routing"
 	"ewmac/internal/sim"
 	"ewmac/internal/topology"
@@ -117,9 +118,15 @@ type Config struct {
 	// Faults enables deterministic fault injection (node churn, clock
 	// drift, delay shifts, outages, interference); nil runs the
 	// fault-free baseline bit-identically. When faults are active the
-	// MACs are hardened automatically: probing is enabled and EW-MAC
-	// gets a stale-delay-table bound unless one was set explicitly.
+	// MACs are hardened automatically: probing is enabled, EW-MAC
+	// gets a stale-delay-table bound unless one was set explicitly,
+	// and the recovery layer (liveness + watchdog) is armed.
 	Faults *fault.Scenario
+	// Recovery overrides the MAC recovery layer explicitly: nil (the
+	// default) arms it with defaults exactly when faults are active,
+	// keeping fault-free runs bit-identical; a non-nil value is used
+	// as-is (tests use it to force the layer on or off).
+	Recovery *mac.RecoveryConfig
 	// Budget bounds the run: wall-clock deadline, executed-event cap,
 	// and the livelock watchdog window (sim time frozen across that
 	// many events aborts the run). The zero Budget runs unbounded and
@@ -247,6 +254,10 @@ type Result struct {
 	// SlotProfile is the waiting-resource profile summary, set when
 	// Config.Observe enables slot profiling.
 	SlotProfile *slotprof.Summary
+	// Resilience is the recovery-metrics summary (fault episodes,
+	// time-to-recover, degraded-window delivery, stranded packets),
+	// set on fault-injected runs.
+	Resilience *obs.ResilienceStats
 }
 
 // Run executes one scenario.
@@ -293,7 +304,16 @@ func Run(cfg Config) (*Result, error) {
 		TauMax: model.MaxDelay(),
 	}
 
-	ro := newRunObs(cfg, slots, model.BitRate())
+	// The resilience tracker joins the recorder fan-out on fault-
+	// injected runs so it sees the same event stream as every other
+	// consumer (this also means faulty runs always carry a recorder).
+	var tracker *resilience.Tracker
+	var trackerRec obs.Recorder
+	if cfg.Faults.Active() {
+		tracker = resilience.NewTracker()
+		trackerRec = tracker
+	}
+	ro := newRunObs(cfg, slots, model.BitRate(), trackerRec)
 	if ro.rec != nil {
 		ch.SetRecorder(ro.rec)
 	}
@@ -348,6 +368,15 @@ func Run(cfg Config) (*Result, error) {
 			if c := inj.ClockFor(n.ID); c != nil {
 				mcfg.Clock = c
 			}
+		}
+		switch {
+		case cfg.Recovery != nil:
+			mcfg.Recovery = *cfg.Recovery
+		case inj != nil:
+			// Under faults the recovery layer is part of the automatic
+			// hardening; fault-free runs leave it off so every code path
+			// stays bit-identical to the pre-recovery behaviour.
+			mcfg.Recovery = mac.RecoveryConfig{Enabled: true}
 		}
 		proto, err := buildProtocol(cfg, mcfg)
 		if err != nil {
@@ -466,6 +495,19 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var resil *obs.ResilienceStats
+	if tracker != nil {
+		stranded := 0
+		for _, p := range protos {
+			if s, ok := p.(interface{ Stranded() int }); ok {
+				stranded += s.Stranded()
+			}
+		}
+		resil = tracker.Summary(eng.Now(), stranded)
+		if rep != nil {
+			rep.Resilience = resil
+		}
+	}
 	return &Result{
 		Config:       cfg,
 		Summary:      sum,
@@ -474,6 +516,7 @@ func Run(cfg Config) (*Result, error) {
 		PerNode:      samples,
 		Report:       rep,
 		SlotProfile:  ro.slotSum,
+		Resilience:   resil,
 	}, nil
 }
 

@@ -89,10 +89,11 @@ type runObs struct {
 // newRunObs assembles the recorder fan-out for one run; rec stays nil
 // when nothing is enabled. slots and bitRate parameterize the slot
 // profiler (they are protocol-independent, so every consumer of one
-// run sees the same slot grid).
-func newRunObs(cfg Config, slots mac.SlotConfig, bitRate float64) *runObs {
+// run sees the same slot grid). extra splices additional recorders
+// (the resilience tracker on fault-injected runs) into the fan-out.
+func newRunObs(cfg Config, slots mac.SlotConfig, bitRate float64, extra ...obs.Recorder) *runObs {
 	ro := &runObs{}
-	var recs []obs.Recorder
+	recs := append([]obs.Recorder(nil), extra...)
 	if o := cfg.Observe; o != nil {
 		recs = append(recs, o.Recorder)
 		if o.Trace != nil {

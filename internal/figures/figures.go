@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ewmac/internal/experiment"
+	"ewmac/internal/fault"
 	"ewmac/internal/metrics"
 	"ewmac/internal/obs"
 	"ewmac/internal/runner"
@@ -51,6 +52,13 @@ type Options struct {
 	// introspection server. Live locks a mutex per event, so attach it
 	// only when a server is actually wanted.
 	Live *obs.Live
+	// Faults applies one fault-injection scenario to every sweep point,
+	// regenerating the paper's figures under adverse conditions; nil
+	// keeps the fault-free baseline. The scenario is part of a point's
+	// identity, so manifests built with different scenarios must use
+	// different fingerprints (cmd/figures folds the scenario into its
+	// fingerprint).
+	Faults *fault.Scenario
 }
 
 func (o *Options) applyDefaults() {
@@ -170,6 +178,7 @@ func sweep(id, title, xlabel, ylabel string, xs []float64, opts Options,
 		cfg := point(experiment.Protocol(k.Protocol), k.X)
 		cfg.SimTime = opts.SimTime
 		cfg.Budget = b
+		cfg.Faults = opts.Faults
 		if opts.Live != nil {
 			if cfg.Observe == nil {
 				cfg.Observe = &experiment.Observe{}

@@ -126,6 +126,9 @@ type Config struct {
 	EnableProbe bool
 	// ProbeMinGap rate-limits probes per peer (default 10 s).
 	ProbeMinGap time.Duration
+	// Recovery arms per-peer liveness tracking and the stuck-state
+	// watchdog; disabled by default (see RecoveryConfig).
+	Recovery RecoveryConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -146,6 +149,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ProbeMinGap <= 0 {
 		c.ProbeMinGap = 10 * time.Second
+	}
+	if c.Recovery.Enabled {
+		c.Recovery.applyDefaults()
 	}
 }
 
@@ -209,6 +215,12 @@ type Base struct {
 	seen map[uint64]struct{}
 	// lastProbe rate-limits unicast delay probes per peer.
 	lastProbe map[packet.NodeID]sim.Time
+	// Liveness state (see liveness.go): consecutive failed handshakes
+	// per peer, the resulting verdicts, and the slot the current role
+	// was entered at (watchdog input).
+	peerFails map[packet.NodeID]int
+	peerState map[packet.NodeID]PeerState
+	roleSlot  int64
 
 	counters Counters
 	started  bool
@@ -232,6 +244,8 @@ func NewBase(cfg Config) (*Base, error) {
 		rtsCands:  make(map[int64][]*packet.Frame),
 		seen:      make(map[uint64]struct{}),
 		lastProbe: make(map[packet.NodeID]sim.Time),
+		peerFails: make(map[packet.NodeID]int),
+		peerState: make(map[packet.NodeID]PeerState),
 		cw:        cfg.CWMin,
 	}, nil
 }
@@ -287,14 +301,17 @@ func (b *Base) Emit(e obs.Event) {
 // setRole switches the primary-handshake role, recording the
 // transition when observability is on.
 func (b *Base) setRole(to Role) {
-	if r := b.cfg.Recorder; r != nil && to != b.role {
+	if to != b.role {
 		now := b.cfg.Engine.Now()
-		r.Record(now, obs.MACState{
-			Node: b.cfg.ID,
-			From: b.role.String(),
-			To:   to.String(),
-			Slot: b.cfg.Slots.SlotAt(now),
-		})
+		if r := b.cfg.Recorder; r != nil {
+			r.Record(now, obs.MACState{
+				Node: b.cfg.ID,
+				From: b.role.String(),
+				To:   to.String(),
+				Slot: b.cfg.Slots.SlotAt(now),
+			})
+		}
+		b.roleSlot = b.cfg.Slots.SlotAt(now)
 	}
 	b.role = to
 }
@@ -446,6 +463,10 @@ func (b *Base) Restart() {
 	b.table.Clear()
 	b.ledger.Clear()
 	b.lastProbe = make(map[packet.NodeID]sim.Time)
+	// A cold-started node has forgotten its liveness history too: every
+	// peer is presumed alive until it fails again.
+	b.peerFails = make(map[packet.NodeID]int)
+	b.peerState = make(map[packet.NodeID]PeerState)
 	b.headSince = b.cfg.Slots.SlotAt(b.cfg.Engine.Now())
 	if b.hooks != nil {
 		b.hooks.OnRestart()
@@ -501,6 +522,14 @@ func (b *Base) Enqueue(p AppPacket) {
 		b.seq++
 		p.Seq = b.seq
 	}
+	if b.cfg.Recovery.Enabled && b.peerState[p.Dst] == PeerDead {
+		// Offered load toward a dead next hop still counts as generated
+		// — it is real demand the network failed — but is dropped with
+		// a typed reason instead of queueing up behind a corpse.
+		b.counters.Generated++
+		b.dropPacket(p, obs.DropDeadPeer)
+		return
+	}
 	if b.queue.Push(p) {
 		b.counters.Generated++
 	}
@@ -510,6 +539,9 @@ func (b *Base) Enqueue(p AppPacket) {
 
 func (b *Base) onSlotStart(s int64) {
 	b.ledger.Prune(s)
+
+	// 0. Stuck-state watchdog (no-op unless recovery is enabled).
+	b.watchdogCheck(s)
 
 	// 1. Receiver: answer last slot's RTS contention.
 	b.receiverGrant(s)
@@ -611,6 +643,14 @@ func (b *Base) maybeContend(s int64) {
 	}
 	head, ok := b.queue.Peek()
 	if !ok {
+		b.headSince = s
+		return
+	}
+	if b.cfg.Recovery.Enabled && b.peerState[head.Dst] == PeerDead {
+		// Never contend toward a corpse: the head is abandoned with a
+		// typed reason rather than burning rounds into a void.
+		b.queue.Pop()
+		b.dropPacket(head, obs.DropDeadPeer)
 		b.headSince = s
 		return
 	}
@@ -743,9 +783,15 @@ func (b *Base) DeliverData(f *packet.Frame, extra bool) { b.deliverData(f, extra
 func (b *Base) failRound(s int64) {
 	b.setRole(RoleIdle)
 	b.curAttempts++
-	if b.cfg.MaxRetries > 0 && b.curAttempts >= b.cfg.MaxRetries {
-		b.queue.Pop()
-		b.counters.Dropped++
+	if b.hasCur && b.noteHandshakeFailure(b.cur.Dst) {
+		// This failure just killed the peer; the head (and everything
+		// else queued to it) was purged with a typed dead-peer drop.
+		b.curAttempts = 0
+		b.headSince = s
+	} else if b.cfg.MaxRetries > 0 && b.curAttempts >= b.cfg.MaxRetries {
+		if p, ok := b.queue.Pop(); ok {
+			b.dropPacket(p, obs.DropRetryExhausted)
+		}
 		b.curAttempts = 0
 		b.headSince = s
 	}
@@ -895,6 +941,12 @@ func (b *Base) OnFrameReceived(f *packet.Frame) {
 			b.table.ObservePair(f.Dst, f.PairDelay, now)
 		}
 	}
+
+	// Any decoded frame proves the peer transmits: resurrect it if the
+	// liveness layer had written it off. (Delay-table trust is tracked
+	// separately — an implausible timestamp above keeps the entry
+	// suspect even though the peer is demonstrably alive.)
+	b.notePeerAlive(f.Src)
 
 	switch f.Kind {
 	case packet.KindHello, packet.KindNbrUpdate:

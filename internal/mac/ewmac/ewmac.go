@@ -521,3 +521,29 @@ func (m *MAC) OnRestart() {
 	}
 	m.granted = nil
 }
+
+var _ mac.PeerWatcher = (*MAC)(nil)
+
+// OnPeerDead implements mac.PeerWatcher: a dead peer's delay-table
+// entry is quarantined (marked suspect) so extra-communication
+// admission never schedules against a corpse — staleEntry then denies
+// with the existing "stale-delay" reason — and any in-flight extra
+// exchange with the peer is abandoned.
+func (m *MAC) OnPeerDead(peer packet.NodeID) {
+	m.Table().MarkSuspect(peer)
+	if att := m.extra; att != nil && att.target == peer {
+		m.recordAbort(att, "peer-dead")
+		m.abortExtra(att)
+	}
+	if g := m.granted; g != nil && g.from == peer {
+		m.granted = nil
+		m.SetHold(m.Engine().Now())
+	}
+}
+
+// OnPeerAlive implements mac.PeerWatcher. The resurrection itself
+// (clearing the liveness verdict) happens in the base; the delay-table
+// suspect flag stays until a plausible measurement overwrites the
+// entry, so a freshly resurrected peer is schedulable again only once
+// its delay is re-learned.
+func (m *MAC) OnPeerAlive(packet.NodeID) {}

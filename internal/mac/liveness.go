@@ -1,0 +1,256 @@
+package mac
+
+import (
+	"fmt"
+
+	"ewmac/internal/obs"
+	"ewmac/internal/packet"
+)
+
+// RecoveryConfig controls the MAC's graceful-degradation layer:
+// per-peer liveness tracking (consecutive failed handshakes mark a
+// neighbor suspect, then dead) and the stuck-state watchdog. Disabled
+// by default — the experiment layer switches it on only when fault
+// injection is active, so fault-free runs stay bit-identical to the
+// pre-recovery behaviour.
+type RecoveryConfig struct {
+	// Enabled arms liveness tracking and the watchdog. When false every
+	// recovery path is a no-op.
+	Enabled bool
+	// SuspectAfter is the consecutive-failure count at which a peer is
+	// marked suspect (default 3). A suspect peer's delay-table entry is
+	// flagged so confidence-aware admission (EW-MAC's stale-delay rule)
+	// stops trusting it.
+	SuspectAfter int
+	// DeadAfter is the consecutive-failure count at which a peer is
+	// declared dead (default 2×SuspectAfter). Pending traffic to a dead
+	// peer is purged with a typed drop and new contention toward it is
+	// suppressed until a frame from the peer is overheard.
+	DeadAfter int
+	// WatchdogFactor scales the stuck-state bound: a node staying in
+	// any non-idle handshake role longer than WatchdogFactor worst-case
+	// exchanges is force-reset through the cold-restart path
+	// (default 4).
+	WatchdogFactor int64
+}
+
+// WithDefaults returns r with unset thresholds filled in. Exported for
+// MACs not built on Base (S-Aloha runs its own liveness bookkeeping).
+func (r RecoveryConfig) WithDefaults() RecoveryConfig {
+	r.applyDefaults()
+	return r
+}
+
+func (r *RecoveryConfig) applyDefaults() {
+	if r.SuspectAfter <= 0 {
+		r.SuspectAfter = 3
+	}
+	if r.DeadAfter <= r.SuspectAfter {
+		r.DeadAfter = 2 * r.SuspectAfter
+	}
+	if r.WatchdogFactor <= 0 {
+		r.WatchdogFactor = 4
+	}
+}
+
+// PeerState is the liveness verdict for one neighbor.
+type PeerState uint8
+
+// Liveness states. The zero value is alive, so an empty map means
+// every peer is presumed reachable.
+const (
+	PeerAlive PeerState = iota
+	PeerSuspect
+	PeerDead
+)
+
+// String implements fmt.Stringer.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("PeerState(%d)", uint8(s))
+	}
+}
+
+// PeerWatcher is an optional extension of Hooks: protocols that keep
+// per-peer scheduling state (EW-MAC's delay table feeding the
+// extra-communication admission rules) implement it to quarantine a
+// dead peer's state and restore it on resurrection.
+type PeerWatcher interface {
+	// OnPeerDead fires when the base declares peer dead.
+	OnPeerDead(peer packet.NodeID)
+	// OnPeerAlive fires when a frame from a suspect/dead peer is
+	// overheard and the peer returns to alive.
+	OnPeerAlive(peer packet.NodeID)
+}
+
+// PeerState returns the liveness verdict for peer.
+func (b *Base) PeerState(peer packet.NodeID) PeerState {
+	return b.peerState[peer]
+}
+
+// Stranded counts queued packets whose next hop is currently dead —
+// traffic the recovery layer has neither delivered nor dropped with a
+// typed reason. A correctly closing recovery loop keeps this at zero.
+func (b *Base) Stranded() int {
+	if !b.cfg.Recovery.Enabled {
+		return 0
+	}
+	n := 0
+	for _, p := range b.queue.Items() {
+		if b.peerState[p.Dst] == PeerDead {
+			n++
+		}
+	}
+	return n
+}
+
+// noteHandshakeFailure records one failed handshake round toward peer,
+// walking it through suspect and dead. It returns true when this
+// failure just killed the peer — the caller's head packet was purged
+// along with everything else queued to it.
+func (b *Base) noteHandshakeFailure(peer packet.NodeID) bool {
+	rc := &b.cfg.Recovery
+	if !rc.Enabled || peer == packet.Nobody || peer == packet.Broadcast {
+		return false
+	}
+	n := b.peerFails[peer] + 1
+	b.peerFails[peer] = n
+	st := b.peerState[peer]
+	if st == PeerAlive && n >= rc.SuspectAfter {
+		st = PeerSuspect
+		b.peerState[peer] = st
+		b.counters.SuspectMarks++
+		b.table.MarkSuspect(peer)
+		if b.Observing() {
+			b.Emit(obs.Recovery{
+				Node: b.cfg.ID, Peer: peer, Action: obs.RecoverySuspect,
+				Detail: fmt.Sprintf("%d consecutive handshake failures", n),
+			})
+		}
+	}
+	if st != PeerDead && n >= rc.DeadAfter {
+		b.peerState[peer] = PeerDead
+		b.counters.DeadMarks++
+		b.table.MarkSuspect(peer)
+		if b.Observing() {
+			b.Emit(obs.Recovery{
+				Node: b.cfg.ID, Peer: peer, Action: obs.RecoveryDead,
+				Detail: fmt.Sprintf("%d consecutive handshake failures", n),
+			})
+		}
+		b.purgeDeadTraffic(peer)
+		if w, ok := b.hooks.(PeerWatcher); ok {
+			w.OnPeerDead(peer)
+		}
+		return true
+	}
+	return false
+}
+
+// purgeDeadTraffic drops every queued packet destined to peer with a
+// typed dead-peer reason, so the queue never retries into a void.
+func (b *Base) purgeDeadTraffic(peer packet.NodeID) int {
+	n := 0
+	for i := 0; i < b.queue.Len(); {
+		p := b.queue.Items()[i]
+		if p.Dst != peer {
+			i++
+			continue
+		}
+		b.queue.RemoveAt(i)
+		b.dropPacket(p, obs.DropDeadPeer)
+		n++
+	}
+	return n
+}
+
+// dropPacket accounts one abandoned packet under the given typed
+// reason.
+func (b *Base) dropPacket(p AppPacket, reason string) {
+	b.counters.Dropped++
+	switch reason {
+	case obs.DropRetryExhausted:
+		b.counters.DroppedRetry++
+	case obs.DropDeadPeer:
+		b.counters.DroppedDeadPeer++
+	}
+	if b.Observing() {
+		b.Emit(obs.PacketDrop{
+			Node: b.cfg.ID, Peer: p.Dst, Reason: reason,
+			Origin: p.Origin, Seq: p.Seq,
+		})
+	}
+}
+
+// notePeerAlive clears the failure history for peer on any decoded
+// frame from it, resurrecting a suspect/dead peer.
+func (b *Base) notePeerAlive(peer packet.NodeID) {
+	if !b.cfg.Recovery.Enabled {
+		return
+	}
+	st := b.peerState[peer]
+	if st == PeerAlive {
+		if b.peerFails[peer] != 0 {
+			delete(b.peerFails, peer)
+		}
+		return
+	}
+	delete(b.peerFails, peer)
+	delete(b.peerState, peer)
+	if st == PeerDead {
+		b.counters.Resurrections++
+		if b.Observing() {
+			b.Emit(obs.Recovery{
+				Node: b.cfg.ID, Peer: peer, Action: obs.RecoveryResurrect,
+				Detail: "frame overheard from dead peer",
+			})
+		}
+		if w, ok := b.hooks.(PeerWatcher); ok {
+			w.OnPeerAlive(peer)
+		}
+	}
+}
+
+// watchdogBound returns the stuck-state limit in slots for the current
+// role: WatchdogFactor worst-case four-way exchanges (RTS, CTS, the
+// data occupancy of Equation (5), and the Ack slot), derived from the
+// delay budget of the exchange actually in flight.
+func (b *Base) watchdogBound() int64 {
+	dataTx := b.cfg.Slots.Len()
+	switch {
+	case b.role == RoleWaitData:
+		dataTx = b.rxDataTx
+	case b.hasCur:
+		dataTx = b.DataTx(b.cur.Bits)
+	}
+	exchange := 4 + b.cfg.Slots.DataSlots(dataTx, b.cfg.Slots.TauMax)
+	return b.cfg.Recovery.WatchdogFactor * exchange
+}
+
+// watchdogCheck force-resets a MAC stuck in a non-idle role past the
+// delay-budget bound, through the existing cold-restart path. Runs at
+// every slot boundary; a no-op unless recovery is enabled.
+func (b *Base) watchdogCheck(s int64) {
+	if !b.cfg.Recovery.Enabled || b.role == RoleIdle {
+		return
+	}
+	stuck := s - b.roleSlot
+	if stuck <= b.watchdogBound() {
+		return
+	}
+	b.counters.WatchdogResets++
+	if b.Observing() {
+		b.Emit(obs.Recovery{
+			Node: b.cfg.ID, Action: obs.RecoveryWatchdog,
+			Detail: fmt.Sprintf("stuck in %v for %d slots (bound %d)", b.role, stuck, b.watchdogBound()),
+		})
+	}
+	b.Restart()
+}

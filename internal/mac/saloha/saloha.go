@@ -42,9 +42,15 @@ type MAC struct {
 	attempts    int
 	seq         uint32
 	seen        map[uint64]struct{}
-	counters    mac.Counters
-	started     bool
-	nextSlot    int64
+	// Liveness state, mirroring mac.Base: consecutive ack timeouts per
+	// peer, the resulting verdicts, and the slot the current ack wait
+	// started at (watchdog input).
+	peerFails map[packet.NodeID]int
+	peerState map[packet.NodeID]mac.PeerState
+	waitSlot  int64
+	counters  mac.Counters
+	started   bool
+	nextSlot  int64
 }
 
 var _ mac.Protocol = (*MAC)(nil)
@@ -60,12 +66,17 @@ func New(cfg mac.Config) (*MAC, error) {
 	if cfg.CWMax < cfg.CWMin {
 		cfg.CWMax = 128
 	}
+	if cfg.Recovery.Enabled {
+		cfg.Recovery = cfg.Recovery.WithDefaults()
+	}
 	return &MAC{
-		cfg:   cfg,
-		rng:   cfg.Engine.RNG(fmt.Sprintf("saloha/%d", cfg.ID)),
-		queue: mac.Queue{MaxLen: cfg.QueueMax},
-		cw:    cfg.CWMin,
-		seen:  make(map[uint64]struct{}),
+		cfg:       cfg,
+		rng:       cfg.Engine.RNG(fmt.Sprintf("saloha/%d", cfg.ID)),
+		queue:     mac.Queue{MaxLen: cfg.QueueMax},
+		cw:        cfg.CWMin,
+		seen:      make(map[uint64]struct{}),
+		peerFails: make(map[packet.NodeID]int),
+		peerState: make(map[packet.NodeID]mac.PeerState),
 	}, nil
 }
 
@@ -86,6 +97,13 @@ func (m *MAC) Enqueue(p mac.AppPacket) {
 	if p.Seq == 0 {
 		m.seq++
 		p.Seq = m.seq
+	}
+	if m.cfg.Recovery.Enabled && m.peerState[p.Dst] == mac.PeerDead {
+		// Real offered load toward a dead next hop: counted as
+		// generated, then dropped with a typed reason.
+		m.counters.Generated++
+		m.dropPacket(p, obs.DropDeadPeer)
+		return
 	}
 	if m.queue.Push(p) {
 		m.counters.Generated++
@@ -142,6 +160,139 @@ func (m *MAC) Restart() {
 	m.backoffLeft = 0
 	m.cw = m.cfg.CWMin
 	m.attempts = 0
+	// Liveness history is soft state too: forgotten on a cold start.
+	m.peerFails = make(map[packet.NodeID]int)
+	m.peerState = make(map[packet.NodeID]mac.PeerState)
+}
+
+// PeerState returns the liveness verdict for peer.
+func (m *MAC) PeerState(peer packet.NodeID) mac.PeerState {
+	return m.peerState[peer]
+}
+
+// Stranded counts queued packets whose next hop is currently dead.
+func (m *MAC) Stranded() int {
+	if !m.cfg.Recovery.Enabled {
+		return 0
+	}
+	n := 0
+	for _, p := range m.queue.Items() {
+		if m.peerState[p.Dst] == mac.PeerDead {
+			n++
+		}
+	}
+	return n
+}
+
+// dropPacket accounts one abandoned packet under the given typed
+// reason, mirroring mac.Base.
+func (m *MAC) dropPacket(p mac.AppPacket, reason string) {
+	m.counters.Dropped++
+	switch reason {
+	case obs.DropRetryExhausted:
+		m.counters.DroppedRetry++
+	case obs.DropDeadPeer:
+		m.counters.DroppedDeadPeer++
+	}
+	if m.cfg.Recorder != nil {
+		m.emit(obs.PacketDrop{
+			Node: m.cfg.ID, Peer: p.Dst, Reason: reason,
+			Origin: p.Origin, Seq: p.Seq,
+		})
+	}
+}
+
+// noteFailure records one ack timeout toward peer, walking it through
+// suspect and dead; returns true when this failure killed the peer
+// (its queued traffic was purged).
+func (m *MAC) noteFailure(peer packet.NodeID) bool {
+	rc := &m.cfg.Recovery
+	if !rc.Enabled || peer == packet.Nobody || peer == packet.Broadcast {
+		return false
+	}
+	n := m.peerFails[peer] + 1
+	m.peerFails[peer] = n
+	st := m.peerState[peer]
+	if st == mac.PeerAlive && n >= rc.SuspectAfter {
+		st = mac.PeerSuspect
+		m.peerState[peer] = st
+		m.counters.SuspectMarks++
+		if m.cfg.Recorder != nil {
+			m.emit(obs.Recovery{
+				Node: m.cfg.ID, Peer: peer, Action: obs.RecoverySuspect,
+				Detail: fmt.Sprintf("%d consecutive ack timeouts", n),
+			})
+		}
+	}
+	if st != mac.PeerDead && n >= rc.DeadAfter {
+		m.peerState[peer] = mac.PeerDead
+		m.counters.DeadMarks++
+		if m.cfg.Recorder != nil {
+			m.emit(obs.Recovery{
+				Node: m.cfg.ID, Peer: peer, Action: obs.RecoveryDead,
+				Detail: fmt.Sprintf("%d consecutive ack timeouts", n),
+			})
+		}
+		for i := 0; i < m.queue.Len(); {
+			p := m.queue.Items()[i]
+			if p.Dst != peer {
+				i++
+				continue
+			}
+			m.queue.RemoveAt(i)
+			m.dropPacket(p, obs.DropDeadPeer)
+		}
+		return true
+	}
+	return false
+}
+
+// noteAlive clears the failure history for peer on any decoded frame
+// from it, resurrecting a suspect/dead peer.
+func (m *MAC) noteAlive(peer packet.NodeID) {
+	if !m.cfg.Recovery.Enabled {
+		return
+	}
+	st := m.peerState[peer]
+	if st == mac.PeerAlive {
+		if m.peerFails[peer] != 0 {
+			delete(m.peerFails, peer)
+		}
+		return
+	}
+	delete(m.peerFails, peer)
+	delete(m.peerState, peer)
+	if st == mac.PeerDead {
+		m.counters.Resurrections++
+		if m.cfg.Recorder != nil {
+			m.emit(obs.Recovery{
+				Node: m.cfg.ID, Peer: peer, Action: obs.RecoveryResurrect,
+				Detail: "frame overheard from dead peer",
+			})
+		}
+	}
+}
+
+// watchdogCheck force-resets a node wedged in its ack wait far past
+// the deadline-derived bound (a no-op unless recovery is enabled; the
+// normal timeout path should always fire first, so this is the
+// backstop against scheduling pathologies under injected drift).
+func (m *MAC) watchdogCheck(s int64) {
+	if !m.cfg.Recovery.Enabled || !m.waitingAck {
+		return
+	}
+	bound := m.cfg.Recovery.WatchdogFactor * (m.ackDeadline - m.waitSlot + 2)
+	if s-m.waitSlot <= bound {
+		return
+	}
+	m.counters.WatchdogResets++
+	if m.cfg.Recorder != nil {
+		m.emit(obs.Recovery{
+			Node: m.cfg.ID, Action: obs.RecoveryWatchdog,
+			Detail: fmt.Sprintf("stuck in wait-ack for %d slots (bound %d)", s-m.waitSlot, bound),
+		})
+	}
+	m.Restart()
 }
 
 // emit records one observability event when a recorder is attached.
@@ -165,18 +316,25 @@ func (m *MAC) setWaiting(w bool, slot int64) {
 }
 
 func (m *MAC) onSlot(s int64) {
+	m.watchdogCheck(s)
 	if m.waitingAck {
 		if s >= m.ackDeadline {
 			m.setWaiting(false, s)
 			m.counters.Retransmissions++
 			m.emitTimeout(s)
-			if head, ok := m.queue.Peek(); ok {
+			head, okHead := m.queue.Peek()
+			if okHead {
 				m.counters.RetransmittedBits += uint64(head.Bits)
 			}
 			m.attempts++
-			if m.cfg.MaxRetries > 0 && m.attempts >= m.cfg.MaxRetries {
-				m.queue.Pop()
-				m.counters.Dropped++
+			if okHead && m.noteFailure(head.Dst) {
+				// The timeout killed the peer; its queued traffic
+				// (including the head) was purged with typed drops.
+				m.attempts = 0
+			} else if m.cfg.MaxRetries > 0 && m.attempts >= m.cfg.MaxRetries {
+				if p, ok := m.queue.Pop(); ok {
+					m.dropPacket(p, obs.DropRetryExhausted)
+				}
 				m.attempts = 0
 			}
 			m.backoffLeft = 1 + m.rng.Intn(m.cw)
@@ -194,6 +352,13 @@ func (m *MAC) onSlot(s int64) {
 	}
 	head, ok := m.queue.Peek()
 	if !ok {
+		return
+	}
+	if m.cfg.Recovery.Enabled && m.peerState[head.Dst] == mac.PeerDead {
+		// Never transmit toward a corpse: abandon the head with a typed
+		// reason instead of retrying into a void.
+		m.queue.Pop()
+		m.dropPacket(head, obs.DropDeadPeer)
 		return
 	}
 	if m.cfg.Modem.Transmitting() || m.cfg.Modem.Receiving() {
@@ -222,6 +387,7 @@ func (m *MAC) onSlot(s int64) {
 		return
 	}
 	m.setWaiting(true, s)
+	m.waitSlot = s
 	m.sentSeq = head.Seq
 	m.sentXID = f.XID
 	// The data may span several slots (Equation (5)); the Ack comes one
@@ -232,6 +398,9 @@ func (m *MAC) onSlot(s int64) {
 
 // OnFrameReceived implements phy.Listener.
 func (m *MAC) OnFrameReceived(f *packet.Frame) {
+	// Any decoded frame proves the peer transmits: resurrect it if the
+	// liveness layer had written it off.
+	m.noteAlive(f.Src)
 	switch f.Kind {
 	case packet.KindData:
 		if f.Dst != m.cfg.ID {

@@ -92,8 +92,19 @@ type Counters struct {
 	// MaintenanceBits counts dedicated neighbor-maintenance traffic
 	// (Hello and NbrUpdate frames), an overhead input.
 	MaintenanceBits uint64
-	// Dropped counts packets abandoned after MaxRetries failed rounds.
-	Dropped uint64
+	// Dropped counts packets abandoned by the MAC for any reason;
+	// DroppedRetry and DroppedDeadPeer break it down by cause
+	// (MaxRetries exhaustion vs. dead-peer purge).
+	Dropped         uint64
+	DroppedRetry    uint64
+	DroppedDeadPeer uint64
+	// SuspectMarks / DeadMarks / Resurrections / WatchdogResets trace
+	// the liveness layer: peers demoted to suspect or dead, peers
+	// restored by an overheard frame, and stuck-state force-resets.
+	SuspectMarks   uint64
+	DeadMarks      uint64
+	Resurrections  uint64
+	WatchdogResets uint64
 	// Probes counts unicast delay-refresh probes sent (stale-table
 	// recovery traffic; their bits are folded into MaintenanceBits).
 	Probes uint64
@@ -123,6 +134,12 @@ func (c Counters) Add(o Counters) Counters {
 		ExtraCompletions:      c.ExtraCompletions + o.ExtraCompletions,
 		MaintenanceBits:       c.MaintenanceBits + o.MaintenanceBits,
 		Dropped:               c.Dropped + o.Dropped,
+		DroppedRetry:          c.DroppedRetry + o.DroppedRetry,
+		DroppedDeadPeer:       c.DroppedDeadPeer + o.DroppedDeadPeer,
+		SuspectMarks:          c.SuspectMarks + o.SuspectMarks,
+		DeadMarks:             c.DeadMarks + o.DeadMarks,
+		Resurrections:         c.Resurrections + o.Resurrections,
+		WatchdogResets:        c.WatchdogResets + o.WatchdogResets,
 		Probes:                c.Probes + o.Probes,
 		ImpossibleRx:          c.ImpossibleRx + o.ImpossibleRx,
 	}

@@ -159,6 +159,23 @@ func (j *JSONL) Record(at sim.Time, e Event) {
 			Action string `json:"action"`
 			Detail string `json:"detail,omitempty"`
 		}{h, uint16(ev.Node), ev.Kind, ev.Action, ev.Detail}
+	case Recovery:
+		line = struct {
+			header
+			Node   uint16 `json:"node"`
+			Peer   uint16 `json:"peer,omitempty"`
+			Action string `json:"action"`
+			Detail string `json:"detail,omitempty"`
+		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Action, ev.Detail}
+	case PacketDrop:
+		line = struct {
+			header
+			Node   uint16 `json:"node"`
+			Peer   uint16 `json:"peer"`
+			Reason string `json:"reason"`
+			Origin uint16 `json:"origin,omitempty"`
+			Seq    uint32 `json:"seq"`
+		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Reason, uint16(ev.Origin), ev.Seq}
 	case Invariant:
 		line = struct {
 			header

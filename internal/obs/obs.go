@@ -237,6 +237,61 @@ type Extra struct {
 // Tag implements Event.
 func (Extra) Tag() string { return "mac.extra" }
 
+// Recovery actions.
+const (
+	// RecoverySuspect: consecutive handshake failures crossed the
+	// suspect threshold for the peer.
+	RecoverySuspect = "suspect"
+	// RecoveryDead: the peer crossed the dead threshold; pending
+	// traffic to it is purged and its delay-table entry quarantined.
+	RecoveryDead = "dead"
+	// RecoveryResurrect: a frame was overheard from a suspect/dead
+	// peer, restoring it to alive.
+	RecoveryResurrect = "resurrect"
+	// RecoveryWatchdog: the node sat in a non-idle MAC state past the
+	// delay-budget bound and was force-reset through the cold-restart
+	// path.
+	RecoveryWatchdog = "watchdog-reset"
+)
+
+// Recovery records one step of the MAC liveness/watchdog machinery: a
+// peer transitioning between alive/suspect/dead, a resurrection on an
+// overheard frame, or a stuck-state watchdog firing. Peer is the
+// subject of liveness transitions and zero for watchdog resets; Detail
+// carries the trigger (consecutive failure count, the stuck role, ...).
+type Recovery struct {
+	Node   packet.NodeID
+	Peer   packet.NodeID
+	Action string
+	Detail string
+}
+
+// Tag implements Event.
+func (Recovery) Tag() string { return "mac.recovery" }
+
+// Packet drop reasons. The queue can also tail-drop on overflow, but
+// that never reaches the event bus (it happens before the packet has
+// an identity worth tracing).
+const (
+	// DropRetryExhausted: the handshake failed MaxRetries times.
+	DropRetryExhausted = "retry-exhausted"
+	// DropDeadPeer: the packet's next hop was declared dead.
+	DropDeadPeer = "dead-peer"
+)
+
+// PacketDrop records one queued application packet abandoned by the
+// MAC with a typed reason, the moment mac.Counters.Dropped increments.
+type PacketDrop struct {
+	Node   packet.NodeID
+	Peer   packet.NodeID
+	Reason string
+	Origin packet.NodeID
+	Seq    uint32
+}
+
+// Tag implements Event.
+func (PacketDrop) Tag() string { return "mac.drop" }
+
 // ---- Fault events ----
 
 // Fault lifecycle actions.

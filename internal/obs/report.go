@@ -21,6 +21,9 @@ type Collector struct {
 	deny       map[string]uint64
 	faults     map[string]uint64
 	invariants map[string]uint64
+	recovery   map[string]uint64
+	drops      map[string]uint64
+	dropsNode  map[string]uint64
 
 	delivered      uint64
 	deliveredBits  uint64
@@ -38,6 +41,9 @@ func NewCollector() *Collector {
 		deny:       make(map[string]uint64),
 		faults:     make(map[string]uint64),
 		invariants: make(map[string]uint64),
+		recovery:   make(map[string]uint64),
+		drops:      make(map[string]uint64),
+		dropsNode:  make(map[string]uint64),
 	}
 }
 
@@ -61,6 +67,11 @@ func (c *Collector) Record(at sim.Time, e Event) {
 		c.faults[ev.Kind+"/"+ev.Action]++
 	case Invariant:
 		c.invariants[ev.Check]++
+	case Recovery:
+		c.recovery[ev.Action]++
+	case PacketDrop:
+		c.drops[ev.Reason]++
+		c.dropsNode[fmt.Sprintf("%d", uint16(ev.Node))]++
 	case Delivery:
 		c.delivered++
 		c.deliveredBits += uint64(ev.Bits)
@@ -97,6 +108,13 @@ type RunReport struct {
 	// Both are empty — and omitted — on fault-free runs.
 	Faults     map[string]uint64 `json:"faults,omitempty"`
 	Invariants map[string]uint64 `json:"invariants,omitempty"`
+	// RecoveryEvents breaks mac.recovery down by action
+	// (suspect/dead/resurrect/watchdog-reset); Drops breaks mac.drop
+	// down by reason and DropsByNode by the dropping node. All empty —
+	// and omitted — when the recovery layer never fired.
+	RecoveryEvents map[string]uint64 `json:"recovery,omitempty"`
+	Drops          map[string]uint64 `json:"drops,omitempty"`
+	DropsByNode    map[string]uint64 `json:"drops_by_node,omitempty"`
 
 	// DeliveredPackets / DeliveredBits count unique payload deliveries
 	// (they match mac.Counters exactly; see the experiment tests).
@@ -120,6 +138,51 @@ type RunReport struct {
 	// Supervision is filled by the runner layer when the run executed
 	// under supervision (budgets, retry, resume); nil otherwise.
 	Supervision *SupervisionStats `json:"supervision,omitempty"`
+
+	// Resilience is filled by the experiment layer on fault-injected
+	// runs from the resilience tracker; nil otherwise.
+	Resilience *ResilienceStats `json:"resilience,omitempty"`
+}
+
+// ResilienceStats folds the fault timeline and the recovery event
+// stream into per-run recovery metrics. It lives in obs (rather than
+// internal/resilience, which produces it) so RunReport can embed it
+// without an import cycle: resilience consumes obs events, and the
+// experiment layer imports both.
+type ResilienceStats struct {
+	// Episodes counts paired inject→clear fault windows (churn,
+	// outage, sync-loss — the kinds whose injectors emit a clear).
+	Episodes int `json:"episodes"`
+	// Recovered counts episodes where the afflicted node made protocol
+	// progress after its fault cleared; Unrecovered is the rest.
+	Recovered   int `json:"recovered"`
+	Unrecovered int `json:"unrecovered"`
+	// MeanTimeToRecoverS / MaxTimeToRecoverS summarize, over recovered
+	// episodes, the delay from fault clear to the node's first
+	// subsequent protocol progress (a delivery at the node or a
+	// contention win/grant by it).
+	MeanTimeToRecoverS float64 `json:"mean_time_to_recover_s"`
+	MaxTimeToRecoverS  float64 `json:"max_time_to_recover_s"`
+	// DegradedS is total simulated time with at least one paired fault
+	// active anywhere in the network; CleanS is the rest of the run.
+	DegradedS float64 `json:"degraded_s"`
+	CleanS    float64 `json:"clean_s"`
+	// DegradedDeliveries / CleanDeliveries split deliveries by whether
+	// they landed inside a degraded window; DegradedDeliveryRatio is
+	// the degraded delivery *rate* normalized by the clean rate (1 =
+	// no degradation, 0 = total collapse under faults).
+	DegradedDeliveries    uint64  `json:"degraded_deliveries"`
+	CleanDeliveries       uint64  `json:"clean_deliveries"`
+	DegradedDeliveryRatio float64 `json:"degraded_delivery_ratio"`
+	// StrandedPackets counts packets still queued to a dead next hop
+	// at the end of the run — traffic the recovery layer failed to
+	// either deliver or account for with a typed drop.
+	StrandedPackets int `json:"stranded_packets"`
+	// Liveness/watchdog tallies from the mac.recovery stream.
+	SuspectMarks   uint64 `json:"suspect_marks"`
+	DeadMarks      uint64 `json:"dead_marks"`
+	Resurrections  uint64 `json:"resurrections"`
+	WatchdogResets uint64 `json:"watchdog_resets"`
 }
 
 // SupervisionStats records how the runner supervision layer treated a
@@ -150,6 +213,9 @@ func (c *Collector) Report(durationS float64) *RunReport {
 		DenyReasons:      copyMap(c.deny),
 		Faults:           copyMap(c.faults),
 		Invariants:       copyMap(c.invariants),
+		RecoveryEvents:   copyMap(c.recovery),
+		Drops:            copyMap(c.drops),
+		DropsByNode:      copyMap(c.dropsNode),
 		DeliveredPackets: c.delivered,
 		DeliveredBits:    c.deliveredBits,
 		ExtraDelivered:   c.extraDelivered,
@@ -235,6 +301,9 @@ func (r *RunReport) WriteProm(w io.Writer) error {
 	family("uasn_extra_denied_total", "Extra denials/aborts by reason.", "counter", r.DenyReasons, "reason")
 	family("uasn_fault_events_total", "Injected fault lifecycle steps by kind/action.", "counter", r.Faults, "fault")
 	family("uasn_invariant_checks_total", "Physical-consistency checks fired, by check.", "counter", r.Invariants, "check")
+	family("uasn_recovery_events_total", "MAC liveness/watchdog recovery steps by action.", "counter", r.RecoveryEvents, "action")
+	family("uasn_dropped_total", "MAC packet drops by reason.", "counter", r.Drops, "reason")
+	family("uasn_dropped_by_node_total", "MAC packet drops by dropping node.", "counter", r.DropsByNode, "node")
 	scalar("uasn_delivered_packets", "Unique data payloads delivered.", "counter", float64(r.DeliveredPackets))
 	scalar("uasn_delivered_bits", "Unique payload bits delivered.", "counter", float64(r.DeliveredBits))
 	scalar("uasn_throughput_kbps", "Delivered payload rate over the window.", "gauge", r.ThroughputKbps)
@@ -247,6 +316,16 @@ func (r *RunReport) WriteProm(w io.Writer) error {
 		scalar("uasn_run_attempts", "Supervised executions of this point.", "counter", float64(s.Attempts))
 		scalar("uasn_run_retries", "Re-executions after transient aborts.", "counter", float64(s.Retries))
 		scalar("uasn_run_budget_aborts", "Attempts ended by the run budget.", "counter", float64(s.BudgetAborts))
+	}
+	if rs := r.Resilience; rs != nil {
+		scalar("uasn_fault_episodes", "Paired inject/clear fault windows.", "counter", float64(rs.Episodes))
+		scalar("uasn_fault_episodes_recovered", "Episodes with post-clear progress.", "counter", float64(rs.Recovered))
+		scalar("uasn_fault_episodes_unrecovered", "Episodes without post-clear progress.", "counter", float64(rs.Unrecovered))
+		scalar("uasn_recovery_mean_seconds", "Mean time from fault clear to progress.", "gauge", rs.MeanTimeToRecoverS)
+		scalar("uasn_recovery_max_seconds", "Max time from fault clear to progress.", "gauge", rs.MaxTimeToRecoverS)
+		scalar("uasn_degraded_seconds", "Simulated time with a paired fault active.", "counter", rs.DegradedS)
+		scalar("uasn_degraded_delivery_ratio", "Degraded delivery rate over clean rate.", "gauge", rs.DegradedDeliveryRatio)
+		scalar("uasn_stranded_packets", "Packets still queued to a dead peer at run end.", "gauge", float64(rs.StrandedPackets))
 	}
 
 	_, err := io.WriteString(w, b.String())

@@ -1,0 +1,134 @@
+package adversary
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"ewmac/internal/experiment"
+	"ewmac/internal/fault"
+)
+
+// smallBase is a cheap scenario the search can afford to run ~100
+// times: 10 nodes, 90 simulated seconds.
+func smallBase() experiment.Config {
+	cfg := experiment.Default(experiment.ProtocolEWMAC)
+	cfg.Nodes = 10
+	cfg.Sinks = 2
+	cfg.OfferedLoadKbps = 0.4
+	cfg.SimTime = 90 * time.Second
+	return cfg
+}
+
+// TestSearchFindsMinimizesAndReplays is the end-to-end contract: on a
+// pinned seed the search finds a violation, shrinks it, and the
+// emitted scenario JSON replays the violation bit-identically through
+// fault.Parse — exactly what `uansim -faults <file>` does.
+func TestSearchFindsMinimizesAndReplays(t *testing.T) {
+	f, err := Search(Options{
+		Base:             smallBase(),
+		Trials:           4,
+		Seed:             1,
+		CollapseFraction: 0.8,
+		Log:              func(line string) { t.Log(line) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil {
+		t.Fatal("pinned seed found no violation; the generator or invariants regressed")
+	}
+	if !f.Scenario.Active() {
+		t.Fatal("minimized scenario has no fault classes")
+	}
+	if err := f.Scenario.Validate(); err != nil {
+		t.Fatalf("minimized scenario invalid: %v", err)
+	}
+
+	// Replay through the JSON round-trip, as the CLI reproducer does.
+	b, err := json.Marshal(f.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fault.Parse(b)
+	if err != nil {
+		t.Fatalf("reproducer does not re-parse: %v", err)
+	}
+	cfg := smallBase()
+	cfg.Faults = sc
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary != f.Violating {
+		t.Fatalf("replay diverged from the recorded violation:\n got %+v\nwant %+v",
+			res.Summary, f.Violating)
+	}
+
+	// The violation itself must hold on replay.
+	livelock := res.Summary.MAC.Generated > 0 && res.Summary.MAC.DeliveredPackets == 0
+	collapse := res.Summary.DeliveryRatio < 0.8*f.BaselineRatio
+	if !livelock && !collapse {
+		t.Fatalf("replayed scenario no longer violates: delivery %.3f, baseline %.3f",
+			res.Summary.DeliveryRatio, f.BaselineRatio)
+	}
+	if f.Runs < 3 {
+		t.Fatalf("suspiciously few runs (%d): baseline + trial + verification expected", f.Runs)
+	}
+}
+
+// TestSearchRejectsActiveBaseFaults: the search owns Config.Faults.
+func TestSearchRejectsActiveBaseFaults(t *testing.T) {
+	cfg := smallBase()
+	cfg.Faults = &fault.Scenario{Outage: &fault.OutageSpec{
+		MeanEvery: fault.Dur(10 * time.Second), MeanDur: fault.Dur(time.Second), Fraction: 0.5,
+	}}
+	if _, err := Search(Options{Base: cfg, Trials: 1, Seed: 1}); err == nil {
+		t.Fatal("Search accepted a Base config with active faults")
+	}
+}
+
+// TestGenerateDeterministic: the generator is a pure function of the
+// RNG stream, and every scenario it emits is valid and active.
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 32; i++ {
+		sa, sb := Generate(a, 7, i), Generate(b, 7, i)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("trial %d: same seed produced different scenarios", i)
+		}
+		if !sa.Active() {
+			t.Fatalf("trial %d: inactive scenario", i)
+		}
+		if err := sa.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid scenario: %v", i, err)
+		}
+	}
+}
+
+// TestCandidatesShrinkOrStay: every shrink candidate stays valid, and
+// soften floors stop offering candidates once every knob bottoms out.
+func TestCandidatesShrinkOrStay(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sc := Generate(r, 3, 0)
+	for _, c := range candidates(sc, 90*time.Second) {
+		if !c.Active() {
+			continue // dropping the last class is filtered by the shrinker
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("candidate invalid: %v", err)
+		}
+	}
+	// A scenario already at the floors offers only the drop candidates.
+	floor := &fault.Scenario{Outage: &fault.OutageSpec{
+		MeanEvery: fault.Dur(200 * time.Second), // past simLen: no doubling
+		MeanDur:   minDur,
+		Fraction:  minFraction,
+	}}
+	got := candidates(floor, 90*time.Second)
+	if len(got) != 1 || got[0].Outage != nil {
+		t.Fatalf("floored scenario offered %d candidates, want only the drop", len(got))
+	}
+}
