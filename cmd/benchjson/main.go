@@ -2,17 +2,18 @@
 // writes the results as machine-readable JSON, so hot-path regressions
 // can be tracked across commits.
 //
-//	benchjson                        # writes BENCH_3.json
+//	benchjson                        # writes BENCH_8.json
 //	benchjson -o out.json            # custom path
 //	benchjson -benchtime 3s          # longer sampling
 //	benchjson -quick                 # engine/channel micro-benches only
-//	benchjson -compare BENCH_3.json  # print % deltas vs a saved run,
+//	benchjson -compare BENCH_8.json  # print % deltas vs a saved run,
 //	                                 # exit nonzero past -threshold
+//	benchjson -alloc-threshold 10    # also gate allocs/op regressions
 //
 // The full suite runs the engine schedule/run micro-benchmark, the
-// channel broadcast micro-benchmark, and a short EW-MAC scenario with
-// observability off and fully on — the pair that bounds the event
-// bus's cost.
+// channel broadcast micro-benchmark at two densities (40 and 200
+// nodes), and a short EW-MAC scenario with observability off and
+// fully on — the pair that bounds the event bus's cost.
 package main
 
 import (
@@ -58,11 +59,12 @@ func run() int {
 	// Register the testing package's flags (test.benchtime below) so
 	// testing.Benchmark works outside "go test".
 	testing.Init()
-	out := flag.String("o", "BENCH_3.json", "output file")
+	out := flag.String("o", "BENCH_8.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "target sampling time per benchmark")
 	quick := flag.Bool("quick", false, "run only the engine/channel micro-benchmarks")
 	compare := flag.String("compare", "", "baseline JSON to diff against (per-benchmark % deltas)")
 	threshold := flag.Float64("threshold", 5, "ns/op regression %% beyond which -compare exits nonzero")
+	allocThreshold := flag.Float64("alloc-threshold", 0, "allocs/op regression %% beyond which -compare exits nonzero (0 disables)")
 	flag.Parse()
 
 	// testing.Benchmark honours this global; there is no public field
@@ -72,14 +74,14 @@ func run() int {
 		return 1
 	}
 
-	chRes, err := benchChannel()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		return 1
-	}
-	results := []result{
-		benchEngine(),
-		chRes,
+	results := []result{benchEngine()}
+	for _, n := range []int{40, 200} {
+		chRes, err := benchChannel(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		results = append(results, chRes)
 	}
 	if !*quick {
 		results = append(results,
@@ -105,7 +107,7 @@ func run() int {
 	}
 
 	if *compare != "" {
-		regressed, err := compareResults(*compare, results, *threshold)
+		regressed, err := compareResults(*compare, results, *threshold, *allocThreshold)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			return 1
@@ -131,8 +133,9 @@ func writeResults(path string, results []result) error {
 
 // compareResults prints per-benchmark deltas of the current run against
 // the baseline file and reports whether any benchmark's ns/op regressed
-// beyond threshold percent.
-func compareResults(path string, cur []result, threshold float64) (regressed bool, err error) {
+// beyond threshold percent, or (when allocThreshold > 0) its allocs/op
+// regressed beyond allocThreshold percent.
+func compareResults(path string, cur []result, threshold, allocThreshold float64) (regressed bool, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return false, err
@@ -172,6 +175,11 @@ func compareResults(path string, cur []result, threshold float64) (regressed boo
 			(r.NsPerOp-o.NsPerOp)/o.NsPerOp*100 > threshold {
 			regressed = true
 			fmt.Printf("  REGRESSED")
+		}
+		if allocThreshold > 0 && o.AllocsPerOp > 0 &&
+			float64(r.AllocsPerOp-o.AllocsPerOp)/float64(o.AllocsPerOp)*100 > allocThreshold {
+			regressed = true
+			fmt.Printf("  ALLOCS-REGRESSED")
 		}
 		fmt.Println()
 	}
@@ -214,12 +222,13 @@ func benchEngine() result {
 }
 
 // benchChannel mirrors internal/channel's BenchmarkChannelBroadcast:
-// one op broadcasts a control frame to a static 40-node deployment and
+// one op broadcasts a control frame to a static n-node deployment and
 // drains the scheduled arrivals — the geometry-cache + copy-on-write
-// hot path. Setup failures are reported as errors, not panics: a bench
-// harness must exit with a diagnosable status.
-func benchChannel() (result, error) {
-	const n = 40
+// hot path. The 40-node shape is the historical baseline; 200 nodes
+// exercises the same path at a receiver fan-out where per-receiver
+// costs dominate setup. Setup failures are reported as errors, not
+// panics: a bench harness must exit with a diagnosable status.
+func benchChannel(n int) (result, error) {
 	eng := sim.NewEngine(1)
 	model := acoustic.DefaultModel()
 	nodes := make([]*topology.Node, n)
@@ -270,7 +279,7 @@ func benchChannel() (result, error) {
 	if benchErr != nil {
 		return result{}, fmt.Errorf("channel bench broadcast: %w", benchErr)
 	}
-	return toResult("channel/broadcast-40", br), nil
+	return toResult(fmt.Sprintf("channel/broadcast-%d", n), br), nil
 }
 
 // benchScenario measures a short Table 2 EW-MAC run; observe toggles

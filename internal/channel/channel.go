@@ -226,13 +226,11 @@ func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duratio
 	srcNode := c.net.Node(src)
 	if srcNode == nil {
 		c.droppedUnknown++
-		if c.rec != nil {
-			c.rec.Record(c.eng.Now(), obs.Invariant{
-				Node:   src,
-				Check:  "channel.broadcast.src",
-				Detail: "transmission from node outside topology dropped",
-			})
-		}
+		obs.Invariant{
+			Node:   src,
+			Check:  "channel.broadcast.src",
+			Detail: "transmission from node outside topology dropped",
+		}.Emit(c.rec, c.eng.Now())
 		return fmt.Errorf("%w: %v", ErrUnknownSource, src)
 	}
 	geoms := c.geomsFor(src, srcNode)
@@ -240,15 +238,16 @@ func (c *Channel) Broadcast(src packet.NodeID, f *packet.Frame, dur time.Duratio
 		return nil
 	}
 	fc := f.Share()
+	now := c.eng.Now()
 	for i := range geoms {
 		g := &geoms[i]
 		if c.trace != nil {
 			c.trace(src, g.dst, f, g.delay, g.levelDB)
 		}
 		if c.rec != nil {
-			c.rec.Record(c.eng.Now(), obs.FrameEmit{
+			obs.FrameEmit{
 				Src: src, Dst: g.dst, Frame: f, Delay: g.delay, LevelDB: g.levelDB,
-			})
+			}.Emit(c.rec, now)
 		}
 		c.deliveries++
 		// Copy out of the cache entry before capturing: the cache slice

@@ -57,7 +57,7 @@ func TestChaosSoak(t *testing.T) {
 				cfg.Faults = chaosScenario()
 				var faults uint64
 				cfg.Observe = &Observe{Recorder: obs.RecorderFunc(func(_ sim.Time, e obs.Event) {
-					if _, ok := e.(obs.Fault); ok {
+					if _, ok := e.(*obs.Fault); ok {
 						faults++
 					}
 				})}

@@ -58,15 +58,15 @@ func (ins *Instrumentation) recorder() obs.Recorder {
 	}
 	return obs.RecorderFunc(func(at sim.Time, e obs.Event) {
 		switch ev := e.(type) {
-		case obs.FrameEmit:
+		case *obs.FrameEmit:
 			if ins.Trace != nil {
 				ins.Trace(ev.Src, ev.Dst, ev.Frame, ev.Delay, ev.LevelDB)
 			}
-		case obs.FrameRx:
+		case *obs.FrameRx:
 			if ins.RxTap != nil {
 				ins.RxTap(at, ev.Node, ev.Frame)
 			}
-		case obs.FrameLoss:
+		case *obs.FrameLoss:
 			if ins.LossTap != nil {
 				ins.LossTap(at, ev.Node, ev.Frame, phy.LossReason(ev.ReasonCode))
 			}
@@ -142,7 +142,7 @@ func (ro *runObs) closeStreams(eng *sim.Engine) error {
 		errs = append(errs, ro.sampler.Flush())
 	}
 	if ro.jsonl != nil {
-		errs = append(errs, ro.jsonl.Flush())
+		errs = append(errs, ro.jsonl.Close())
 	}
 	if ro.spans != nil {
 		errs = append(errs, ro.spans.Close())

@@ -25,7 +25,7 @@ func TestObserveEndToEnd(t *testing.T) {
 	var delivered uint64
 	cfg.Observe = &Observe{
 		Recorder: obs.RecorderFunc(func(_ sim.Time, e obs.Event) {
-			if _, ok := e.(obs.Delivery); ok {
+			if _, ok := e.(*obs.Delivery); ok {
 				delivered++
 			}
 		}),

@@ -28,8 +28,9 @@ func spanRun(t *testing.T, p Protocol) (spans, slots bytes.Buffer, deliveries []
 		Spans:       &spans,
 		SlotProfile: &slots,
 		Recorder: obs.RecorderFunc(func(_ sim.Time, e obs.Event) {
-			if d, ok := e.(obs.Delivery); ok {
-				deliveries = append(deliveries, d)
+			if d, ok := e.(*obs.Delivery); ok {
+				// Pooled record: copy before the bus reclaims it.
+				deliveries = append(deliveries, *d)
 			}
 		}),
 	}

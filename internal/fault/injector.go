@@ -120,9 +120,7 @@ func (in *Injector) Register(id packet.NodeID, modem *phy.Modem, proto any) {
 
 // emit records one fault event on the observability bus.
 func (in *Injector) emit(node packet.NodeID, kind, action, detail string) {
-	if in.rec != nil {
-		in.rec.Record(in.eng.Now(), obs.Fault{Node: node, Kind: kind, Action: action, Detail: detail})
-	}
+	obs.Fault{Node: node, Kind: kind, Action: action, Detail: detail}.Emit(in.rec, in.eng.Now())
 }
 
 // expAfter draws an exponential holding time with the given mean.

@@ -53,7 +53,7 @@ func newRig(t *testing.T, seed int64, sc *Scenario) *rig {
 		protos: make(map[packet.NodeID]*fakeProto),
 	}
 	rec := obs.RecorderFunc(func(at sim.Time, e obs.Event) {
-		if f, ok := e.(obs.Fault); ok {
+		if f, ok := e.(*obs.Fault); ok {
 			r.log = append(r.log, fmt.Sprintf("%v n%d %s/%s", at, f.Node, f.Kind, f.Action))
 		}
 	})

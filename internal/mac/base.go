@@ -290,13 +290,18 @@ func (b *Base) Role() Role { return b.role }
 // observability is off.
 func (b *Base) Observing() bool { return b.cfg.Recorder != nil }
 
-// Emit records e at the current instant if a recorder is attached.
-// Protocol implementations use it for their own events.
-func (b *Base) Emit(e obs.Event) {
-	if r := b.cfg.Recorder; r != nil {
-		r.Record(b.cfg.Engine.Now(), e)
-	}
+// recNow returns the recorder and current instant, shaped so emission
+// sites read obs.X{...}.Emit(b.recNow()) and go through the pooled,
+// non-boxing record path. The recorder may be nil; Emit drops the
+// event without constructing a record.
+func (b *Base) recNow() (obs.Recorder, sim.Time) {
+	return b.cfg.Recorder, b.cfg.Engine.Now()
 }
+
+// EmitExtra records one extra-communication lifecycle event at the
+// current instant. Protocol implementations use it for their own
+// extra-phase events.
+func (b *Base) EmitExtra(v obs.Extra) { v.Emit(b.recNow()) }
 
 // setRole switches the primary-handshake role, recording the
 // transition when observability is on.
@@ -304,12 +309,12 @@ func (b *Base) setRole(to Role) {
 	if to != b.role {
 		now := b.cfg.Engine.Now()
 		if r := b.cfg.Recorder; r != nil {
-			r.Record(now, obs.MACState{
+			obs.MACState{
 				Node: b.cfg.ID,
 				From: b.role.String(),
 				To:   to.String(),
 				Slot: b.cfg.Slots.SlotAt(now),
-			})
+			}.Emit(r, now)
 		}
 		b.roleSlot = b.cfg.Slots.SlotAt(now)
 	}
@@ -553,7 +558,7 @@ func (b *Base) onSlotStart(s int64) {
 			// No CTS arrived: contention failed.
 			b.counters.ContentionFailures++
 			if b.Observing() {
-				b.Emit(obs.Contention{Node: b.cfg.ID, Peer: b.cur.Dst, Outcome: obs.ContentionTimeout, Slot: s, XID: b.curXID})
+				obs.Contention{Node: b.cfg.ID, Peer: b.cur.Dst, Outcome: obs.ContentionTimeout, Slot: s, XID: b.curXID}.Emit(b.recNow())
 			}
 			b.failRound(s)
 		}
@@ -624,8 +629,8 @@ func (b *Base) receiverGrant(s int64) {
 	b.rxXID = winner.XID
 	b.counters.CTSSent++
 	if b.Observing() {
-		b.Emit(obs.Contention{Node: b.cfg.ID, Peer: winner.Src, Outcome: obs.ContentionGrant, Slot: s, XID: winner.XID})
-		b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: winner.Src, Period: "II", Slot: s})
+		obs.Contention{Node: b.cfg.ID, Peer: winner.Src, Outcome: obs.ContentionGrant, Slot: s, XID: winner.XID}.Emit(b.recNow())
+		obs.SlotPeriod{Node: b.cfg.ID, Peer: winner.Src, Period: "II", Slot: s}.Emit(b.recNow())
 	}
 	b.setRole(RoleWaitData)
 	b.rxDataSlot = s + 1
@@ -685,8 +690,8 @@ func (b *Base) maybeContend(s int64) {
 	b.curXID = rts.XID
 	b.counters.RTSSent++
 	if b.Observing() {
-		b.Emit(obs.Contention{Node: b.cfg.ID, Peer: head.Dst, Outcome: obs.ContentionRTS, Slot: s, XID: rts.XID})
-		b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: head.Dst, Period: "I", Slot: s})
+		obs.Contention{Node: b.cfg.ID, Peer: head.Dst, Outcome: obs.ContentionRTS, Slot: s, XID: rts.XID}.Emit(b.recNow())
+		obs.SlotPeriod{Node: b.cfg.ID, Peer: head.Dst, Period: "I", Slot: s}.Emit(b.recNow())
 	}
 	b.setRole(RoleWaitCTS)
 	b.cur = head
@@ -726,7 +731,7 @@ func (b *Base) transmitData(s int64) {
 		return
 	}
 	if b.Observing() {
-		b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: b.cur.Dst, Period: "IV", Slot: s})
+		obs.SlotPeriod{Node: b.cfg.ID, Peer: b.cur.Dst, Period: "IV", Slot: s}.Emit(b.recNow())
 	}
 	b.setRole(RoleWaitAck)
 	b.ackDeadline = b.cfg.Slots.AckSlot(s, b.DataTx(b.cur.Bits), b.curTau) + 1
@@ -740,7 +745,7 @@ func (b *Base) finishReceive(s int64) {
 		ack.XID = b.rxXID
 		if err := b.SendNow(ack); err == nil {
 			if b.Observing() {
-				b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: b.rxSender, Period: "VI", Slot: s})
+				obs.SlotPeriod{Node: b.cfg.ID, Peer: b.rxSender, Period: "VI", Slot: s}.Emit(b.recNow())
 			}
 			b.deliverData(b.rxDataFrame, false)
 		}
@@ -767,10 +772,10 @@ func (b *Base) deliverData(f *packet.Frame, extra bool) {
 	latency := b.cfg.Engine.Now().Duration() - f.GeneratedAt
 	b.counters.LatencySum += latency
 	if b.Observing() {
-		b.Emit(obs.Delivery{
+		obs.Delivery{
 			Node: b.cfg.ID, Origin: f.Origin, Seq: f.Seq,
 			Bits: f.DataBits, Latency: latency, Extra: extra, XID: f.XID,
-		})
+		}.Emit(b.recNow())
 	}
 }
 
@@ -928,11 +933,11 @@ func (b *Base) OnFrameReceived(f *packet.Frame) {
 		// (EW-MAC's stale-delay fallback) stop trusting it.
 		b.table.MarkSuspect(f.Src)
 		if b.Observing() {
-			b.Emit(obs.Invariant{
+			obs.Invariant{
 				Node: b.cfg.ID, Check: "impossible-rx",
 				Detail: fmt.Sprintf("frame %v->%v %v: measured delay %v outside [0, %v]",
 					f.Src, f.Dst, f.Kind, d, maxPlausible),
-			})
+			}.Emit(b.recNow())
 		}
 	} else {
 		b.table.Observe(f, localEnd, b.FrameTx(f))
@@ -981,7 +986,7 @@ func (b *Base) onRTS(f *packet.Frame) {
 	if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
 		// My target is itself contending for someone else.
 		if b.Observing() {
-			b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: sendSlot, XID: b.curXID})
+			obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: sendSlot, XID: b.curXID}.Emit(b.recNow())
 		}
 		b.hooks.OnContentionLost(f)
 	}
@@ -997,8 +1002,8 @@ func (b *Base) onCTS(f *packet.Frame, now sim.Time) {
 				b.curTau = tau
 			}
 			if b.Observing() {
-				b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionWon, Slot: ctsSlot, XID: b.curXID})
-				b.Emit(obs.SlotPeriod{Node: b.cfg.ID, Peer: f.Src, Period: "III", Slot: ctsSlot})
+				obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionWon, Slot: ctsSlot, XID: b.curXID}.Emit(b.recNow())
+				obs.SlotPeriod{Node: b.cfg.ID, Peer: f.Src, Period: "III", Slot: ctsSlot}.Emit(b.recNow())
 			}
 			b.setRole(RoleSendData)
 			b.dataSlot = ctsSlot + 1
@@ -1010,7 +1015,7 @@ func (b *Base) onCTS(f *packet.Frame, now sim.Time) {
 	if b.role == RoleWaitCTS && f.Src == b.cur.Dst {
 		// My target granted someone else.
 		if b.Observing() {
-			b.Emit(obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: ctsSlot, XID: b.curXID})
+			obs.Contention{Node: b.cfg.ID, Peer: f.Src, Outcome: obs.ContentionLost, Slot: ctsSlot, XID: b.curXID}.Emit(b.recNow())
 		}
 		b.hooks.OnContentionLost(f)
 	}
@@ -1054,10 +1059,10 @@ func (b *Base) onAck(f *packet.Frame) {
 			b.cw = b.cfg.CWMin
 			b.hasCur = false
 			if b.Observing() {
-				b.Emit(obs.SlotPeriod{
+				obs.SlotPeriod{
 					Node: b.cfg.ID, Peer: f.Src, Period: "VII",
 					Slot: b.cfg.Slots.SlotAt(b.cfg.Engine.Now()),
-				})
+				}.Emit(b.recNow())
 			}
 			b.setRole(RoleIdle)
 			b.headSince = b.cfg.Slots.SlotAt(b.cfg.Engine.Now())
@@ -1078,9 +1083,9 @@ func (b *Base) OnFrameLost(*packet.Frame, phy.LossReason) {}
 func (b *Base) OnTxDone(f *packet.Frame) {
 	if b.Observing() && f.Kind == packet.KindData && b.role == RoleWaitAck {
 		now := b.cfg.Engine.Now()
-		b.Emit(obs.SlotPeriod{
+		obs.SlotPeriod{
 			Node: b.cfg.ID, Peer: f.Dst, Period: "V",
 			Slot: b.cfg.Slots.SlotAt(now),
-		})
+		}.Emit(b.recNow())
 	}
 }

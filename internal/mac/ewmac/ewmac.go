@@ -262,12 +262,12 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 	m.SendAt(sendT, exr, func(error) { m.abortExtra(att) })
 	m.CountersRef().ExtraAttempts++
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: cause.Src, Action: obs.ExtraRequest, XID: att.xid, Parent: att.parent})
+		m.EmitExtra(obs.Extra{Node: m.ID(), Peer: cause.Src, Action: obs.ExtraRequest, XID: att.xid, Parent: att.parent})
 	}
 	att.timeout = m.ScheduleClamped(deadline, sim.PriorityMAC, func() {
 		if m.extra == att && att.phase == phaseRequested {
 			if m.Observing() {
-				m.Emit(obs.Extra{Node: m.ID(), Peer: att.target, Action: obs.ExtraDeny, Reason: "exc-timeout", XID: att.xid, Parent: att.parent})
+				m.EmitExtra(obs.Extra{Node: m.ID(), Peer: att.target, Action: obs.ExtraDeny, Reason: "exc-timeout", XID: att.xid, Parent: att.parent})
 			}
 			m.abortExtra(att)
 		}
@@ -278,14 +278,14 @@ func (m *MAC) OnContentionLost(cause *packet.Frame) {
 // rule that fired; it is the diagnostic for a starved extra path.
 func (m *MAC) denyExtra(peer packet.NodeID, reason string) {
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: obs.ExtraDeny, Reason: reason})
+		m.EmitExtra(obs.Extra{Node: m.ID(), Peer: peer, Action: obs.ExtraDeny, Reason: reason})
 	}
 }
 
 // recordAbort records an in-flight extra attempt being abandoned.
 func (m *MAC) recordAbort(att *extraAttempt, reason string) {
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: att.target, Action: obs.ExtraAbort, Reason: reason, XID: att.xid, Parent: att.parent})
+		m.EmitExtra(obs.Extra{Node: m.ID(), Peer: att.target, Action: obs.ExtraAbort, Reason: reason, XID: att.xid, Parent: att.parent})
 	}
 }
 
@@ -391,7 +391,7 @@ func (m *MAC) onEXR(f *packet.Frame) {
 		return
 	}
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraGrant, XID: f.XID})
+		m.EmitExtra(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraGrant, XID: f.XID})
 	}
 	dataDur := m.DataTx(f.DataBits)
 	m.granted = &grantedExtra{from: f.Src, bits: f.DataBits, at: grantAt}
@@ -489,7 +489,7 @@ func (m *MAC) onEXAck(f *packet.Frame) {
 	}
 	m.CountersRef().ExtraCompletions++
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraComplete, XID: att.xid, Parent: att.parent})
+		m.EmitExtra(obs.Extra{Node: m.ID(), Peer: f.Src, Action: obs.ExtraComplete, XID: att.xid, Parent: att.parent})
 	}
 	if !m.CompleteHead(att.pkt.Origin, att.pkt.Seq) {
 		m.CompleteBySeq(att.pkt.Origin, att.pkt.Seq)

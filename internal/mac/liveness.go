@@ -129,10 +129,10 @@ func (b *Base) noteHandshakeFailure(peer packet.NodeID) bool {
 		b.counters.SuspectMarks++
 		b.table.MarkSuspect(peer)
 		if b.Observing() {
-			b.Emit(obs.Recovery{
+			obs.Recovery{
 				Node: b.cfg.ID, Peer: peer, Action: obs.RecoverySuspect,
 				Detail: fmt.Sprintf("%d consecutive handshake failures", n),
-			})
+			}.Emit(b.recNow())
 		}
 	}
 	if st != PeerDead && n >= rc.DeadAfter {
@@ -140,10 +140,10 @@ func (b *Base) noteHandshakeFailure(peer packet.NodeID) bool {
 		b.counters.DeadMarks++
 		b.table.MarkSuspect(peer)
 		if b.Observing() {
-			b.Emit(obs.Recovery{
+			obs.Recovery{
 				Node: b.cfg.ID, Peer: peer, Action: obs.RecoveryDead,
 				Detail: fmt.Sprintf("%d consecutive handshake failures", n),
-			})
+			}.Emit(b.recNow())
 		}
 		b.purgeDeadTraffic(peer)
 		if w, ok := b.hooks.(PeerWatcher); ok {
@@ -182,10 +182,10 @@ func (b *Base) dropPacket(p AppPacket, reason string) {
 		b.counters.DroppedDeadPeer++
 	}
 	if b.Observing() {
-		b.Emit(obs.PacketDrop{
+		obs.PacketDrop{
 			Node: b.cfg.ID, Peer: p.Dst, Reason: reason,
 			Origin: p.Origin, Seq: p.Seq,
-		})
+		}.Emit(b.recNow())
 	}
 }
 
@@ -207,10 +207,10 @@ func (b *Base) notePeerAlive(peer packet.NodeID) {
 	if st == PeerDead {
 		b.counters.Resurrections++
 		if b.Observing() {
-			b.Emit(obs.Recovery{
+			obs.Recovery{
 				Node: b.cfg.ID, Peer: peer, Action: obs.RecoveryResurrect,
 				Detail: "frame overheard from dead peer",
-			})
+			}.Emit(b.recNow())
 		}
 		if w, ok := b.hooks.(PeerWatcher); ok {
 			w.OnPeerAlive(peer)
@@ -247,10 +247,10 @@ func (b *Base) watchdogCheck(s int64) {
 	}
 	b.counters.WatchdogResets++
 	if b.Observing() {
-		b.Emit(obs.Recovery{
+		obs.Recovery{
 			Node: b.cfg.ID, Action: obs.RecoveryWatchdog,
 			Detail: fmt.Sprintf("stuck in %v for %d slots (bound %d)", b.role, stuck, b.watchdogBound()),
-		})
+		}.Emit(b.recNow())
 	}
 	b.Restart()
 }

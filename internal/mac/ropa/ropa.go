@@ -296,7 +296,7 @@ func (m *MAC) abort(st *rtaState) {
 // recordExtra emits one appending-lifecycle event when observing.
 func (m *MAC) recordExtra(peer packet.NodeID, action, reason string, xid, parent uint64) {
 	if m.Observing() {
-		m.Emit(obs.Extra{Node: m.ID(), Peer: peer, Action: action, Reason: reason, XID: xid, Parent: parent})
+		m.EmitExtra(obs.Extra{Node: m.ID(), Peer: peer, Action: action, Reason: reason, XID: xid, Parent: parent})
 	}
 }
 

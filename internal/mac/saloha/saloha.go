@@ -195,10 +195,10 @@ func (m *MAC) dropPacket(p mac.AppPacket, reason string) {
 		m.counters.DroppedDeadPeer++
 	}
 	if m.cfg.Recorder != nil {
-		m.emit(obs.PacketDrop{
+		obs.PacketDrop{
 			Node: m.cfg.ID, Peer: p.Dst, Reason: reason,
 			Origin: p.Origin, Seq: p.Seq,
-		})
+		}.Emit(m.recNow())
 	}
 }
 
@@ -218,20 +218,20 @@ func (m *MAC) noteFailure(peer packet.NodeID) bool {
 		m.peerState[peer] = st
 		m.counters.SuspectMarks++
 		if m.cfg.Recorder != nil {
-			m.emit(obs.Recovery{
+			obs.Recovery{
 				Node: m.cfg.ID, Peer: peer, Action: obs.RecoverySuspect,
 				Detail: fmt.Sprintf("%d consecutive ack timeouts", n),
-			})
+			}.Emit(m.recNow())
 		}
 	}
 	if st != mac.PeerDead && n >= rc.DeadAfter {
 		m.peerState[peer] = mac.PeerDead
 		m.counters.DeadMarks++
 		if m.cfg.Recorder != nil {
-			m.emit(obs.Recovery{
+			obs.Recovery{
 				Node: m.cfg.ID, Peer: peer, Action: obs.RecoveryDead,
 				Detail: fmt.Sprintf("%d consecutive ack timeouts", n),
-			})
+			}.Emit(m.recNow())
 		}
 		for i := 0; i < m.queue.Len(); {
 			p := m.queue.Items()[i]
@@ -265,10 +265,10 @@ func (m *MAC) noteAlive(peer packet.NodeID) {
 	if st == mac.PeerDead {
 		m.counters.Resurrections++
 		if m.cfg.Recorder != nil {
-			m.emit(obs.Recovery{
+			obs.Recovery{
 				Node: m.cfg.ID, Peer: peer, Action: obs.RecoveryResurrect,
 				Detail: "frame overheard from dead peer",
-			})
+			}.Emit(m.recNow())
 		}
 	}
 }
@@ -287,19 +287,19 @@ func (m *MAC) watchdogCheck(s int64) {
 	}
 	m.counters.WatchdogResets++
 	if m.cfg.Recorder != nil {
-		m.emit(obs.Recovery{
+		obs.Recovery{
 			Node: m.cfg.ID, Action: obs.RecoveryWatchdog,
 			Detail: fmt.Sprintf("stuck in wait-ack for %d slots (bound %d)", s-m.waitSlot, bound),
-		})
+		}.Emit(m.recNow())
 	}
 	m.Restart()
 }
 
-// emit records one observability event when a recorder is attached.
-func (m *MAC) emit(e obs.Event) {
-	if r := m.cfg.Recorder; r != nil {
-		r.Record(m.cfg.Engine.Now(), e)
-	}
+// recNow returns the recorder and current instant, shaped so emission
+// sites read obs.X{...}.Emit(m.recNow()) and go through the pooled,
+// non-boxing record path.
+func (m *MAC) recNow() (obs.Recorder, sim.Time) {
+	return m.cfg.Recorder, m.cfg.Engine.Now()
 }
 
 // setWaiting flips the single piece of protocol state S-ALOHA has,
@@ -310,7 +310,7 @@ func (m *MAC) setWaiting(w bool, slot int64) {
 		if !w {
 			from, to = to, from
 		}
-		m.emit(obs.MACState{Node: m.cfg.ID, From: from, To: to, Slot: slot})
+		obs.MACState{Node: m.cfg.ID, From: from, To: to, Slot: slot}.Emit(m.recNow())
 	}
 	m.waitingAck = w
 }
@@ -416,10 +416,10 @@ func (m *MAC) OnFrameReceived(f *packet.Frame) {
 			latency := m.cfg.Engine.Now().Duration() - f.GeneratedAt
 			m.counters.LatencySum += latency
 			if m.cfg.Recorder != nil {
-				m.emit(obs.Delivery{
+				obs.Delivery{
 					Node: m.cfg.ID, Origin: f.Origin, Seq: f.Seq,
 					Bits: f.DataBits, Latency: latency, XID: f.XID,
-				})
+				}.Emit(m.recNow())
 			}
 		}
 		ack := &packet.Frame{
@@ -454,10 +454,10 @@ func (m *MAC) OnFrameReceived(f *packet.Frame) {
 func (m *MAC) emitTimeout(slot int64) {
 	if m.cfg.Recorder != nil {
 		if head, ok := m.queue.Peek(); ok {
-			m.emit(obs.Contention{
+			obs.Contention{
 				Node: m.cfg.ID, Peer: head.Dst,
 				Outcome: obs.ContentionTimeout, Slot: slot, XID: m.sentXID,
-			})
+			}.Emit(m.recNow())
 		}
 	}
 }

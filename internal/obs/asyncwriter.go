@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// batchWriter moves trace I/O off the simulation goroutine. The
+// encoder stages lines into a byte buffer it owns; full buffers are
+// handed over a bounded channel to one background goroutine, which
+// writes them in hand-off order and recycles them through a free
+// list. The bounded channel doubles as backpressure: a sink slower
+// than the simulator blocks the producer instead of buffering without
+// limit, and FIFO hand-off keeps the byte stream identical to a
+// synchronous writer's.
+type batchWriter struct {
+	w    io.Writer
+	reqs chan writeReq
+	free chan []byte
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// writeReq is one buffer hand-off; flushed, when non-nil, is closed
+// after the buffer has reached the underlying writer (the Flush
+// barrier).
+type writeReq struct {
+	buf     []byte
+	flushed chan struct{}
+}
+
+// batchBufCap sizes the staging buffers; a buffer is handed off once
+// it crosses batchFlushAt, so the headroom above the threshold
+// absorbs one worst-case trace line without reallocating.
+const (
+	batchBufCap   = 1<<15 + 1024
+	batchFlushAt  = 1 << 15
+	batchInFlight = 4
+)
+
+// newBatchWriter starts the drain goroutine; stop with close.
+func newBatchWriter(w io.Writer) *batchWriter {
+	bw := &batchWriter{
+		w:    w,
+		reqs: make(chan writeReq, batchInFlight),
+		free: make(chan []byte, batchInFlight+1),
+		done: make(chan struct{}),
+	}
+	go bw.loop()
+	return bw
+}
+
+func (bw *batchWriter) loop() {
+	defer close(bw.done)
+	for r := range bw.reqs {
+		if len(r.buf) > 0 {
+			if _, err := bw.w.Write(r.buf); err != nil {
+				bw.mu.Lock()
+				if bw.err == nil {
+					bw.err = err
+				}
+				bw.mu.Unlock()
+			}
+		}
+		select {
+		case bw.free <- r.buf[:0]:
+		default: // free list full; let the buffer go
+		}
+		if r.flushed != nil {
+			close(r.flushed)
+		}
+	}
+}
+
+// grab returns a recycled staging buffer, or a fresh one when the
+// drain goroutine still owns them all.
+func (bw *batchWriter) grab() []byte {
+	select {
+	case b := <-bw.free:
+		return b
+	default:
+		return make([]byte, 0, batchBufCap)
+	}
+}
+
+// submit hands buf to the drain goroutine and returns a replacement
+// staging buffer. Blocks only when batchInFlight buffers are already
+// queued (sink backpressure).
+func (bw *batchWriter) submit(buf []byte) []byte {
+	bw.reqs <- writeReq{buf: buf}
+	return bw.grab()
+}
+
+// flush hands buf over and blocks until every queued buffer has been
+// written, then returns a replacement staging buffer.
+func (bw *batchWriter) flush(buf []byte) []byte {
+	ack := make(chan struct{})
+	bw.reqs <- writeReq{buf: buf, flushed: ack}
+	<-ack
+	return bw.grab()
+}
+
+// close drains buf and every queued write, then stops the goroutine.
+func (bw *batchWriter) close(buf []byte) {
+	bw.reqs <- writeReq{buf: buf}
+	close(bw.reqs)
+	<-bw.done
+}
+
+// firstErr returns the first write error observed by the drain
+// goroutine.
+func (bw *batchWriter) firstErr() error {
+	bw.mu.Lock()
+	defer bw.mu.Unlock()
+	return bw.err
+}

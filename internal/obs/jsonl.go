@@ -1,8 +1,8 @@
 package obs
 
 import (
-	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"ewmac/internal/packet"
@@ -16,189 +16,307 @@ import (
 //	"event" — the stable Event.Tag()
 //
 // plus the event's own flattened fields (frame fields appear as
-// kind/seq/origin/bits; durations as fractional seconds). The writer
-// is buffered; call Flush (or Close) before reading the output.
+// kind/seq/origin/bits; durations as fractional seconds).
+//
+// The encoders are hand-rolled (encode.go) and byte-identical to the
+// reflection-based encoding/json output the exporter used through
+// PR 7, so golden trace hashes and tracetool are unaffected; lines are
+// staged in pooled buffers and written by a background goroutine
+// (asyncwriter.go). Call Flush before reading the output mid-run and
+// Close when the stream is done — Close stops the writer goroutine.
 type JSONL struct {
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
+	bw     *batchWriter
+	cur    []byte
+	err    error
+	closed bool
+
+	// atCache short-circuits formatting the "at" header when several
+	// events share one instant (slot boundaries, one broadcast's
+	// fan-out): float formatting is the encoder's single largest cost.
+	lastAt sim.Time
+	atLen  uint8
+	atBuf  [24]byte
 }
 
-// NewJSONL returns a trace-v2 exporter writing to w.
+// NewJSONL returns a trace-v2 exporter writing to w. The caller must
+// Close it (closing flushes); an unclosed exporter leaks its writer
+// goroutine.
 func NewJSONL(w io.Writer) *JSONL {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	bw := newBatchWriter(w)
+	return &JSONL{bw: bw, cur: bw.grab()}
 }
 
-// Err returns the first write error, if any.
-func (j *JSONL) Err() error { return j.err }
+// Err returns the first write or encode error, if any.
+func (j *JSONL) Err() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.firstErr()
+}
 
-// Flush drains the write buffer.
+// Flush drains the staged lines through to the underlying writer.
 func (j *JSONL) Flush() error {
-	if err := j.bw.Flush(); err != nil && j.err == nil {
-		j.err = err
+	if !j.closed {
+		j.cur = j.bw.flush(j.cur)
 	}
-	return j.err
+	return j.Err()
 }
 
-// frameRef is the flattened frame portion of trace-v2 lines.
-type frameRef struct {
-	Src    uint16 `json:"src"`
-	Dst    uint16 `json:"dst"`
-	Kind   string `json:"kind"`
-	Seq    uint32 `json:"seq"`
-	Origin uint16 `json:"origin,omitempty"`
-	Bits   int    `json:"bits"`
-	XID    uint64 `json:"xid,omitempty"`
-}
-
-func flatten(f *packet.Frame) frameRef {
-	return frameRef{
-		Src:    uint16(f.Src),
-		Dst:    uint16(f.Dst),
-		Kind:   f.Kind.String(),
-		Seq:    f.Seq,
-		Origin: uint16(f.Origin),
-		Bits:   f.Bits(),
-		XID:    f.XID,
+// Close flushes and stops the writer goroutine. Records after Close
+// are dropped. Safe to call twice.
+func (j *JSONL) Close() error {
+	if !j.closed {
+		j.closed = true
+		j.bw.close(j.cur)
+		j.cur = nil
 	}
+	return j.Err()
 }
 
-// header is the leading portion shared by every trace-v2 line.
-type header struct {
-	At    float64 `json:"at"`
-	Event string  `json:"event"`
+// kindJSON pre-quotes the defined frame kind names — constant safe
+// ASCII — so appendFrame neither consults the Kind.String name map nor
+// scans for escapes on every frame event.
+var kindJSON = func() (t [16][]byte) {
+	for k := packet.Kind(1); k.Valid(); k++ {
+		t[k] = appendJSONString(nil, k.String())
+	}
+	return
+}()
+
+// appendFrame appends the flattened frame portion shared by the frame
+// events: src/dst/kind/seq/origin(omitempty)/bits/xid(omitempty).
+func appendFrame(b []byte, f *packet.Frame) []byte {
+	b = append(b, `,"src":`...)
+	b = appendUint(b, uint64(uint16(f.Src)))
+	b = append(b, `,"dst":`...)
+	b = appendUint(b, uint64(uint16(f.Dst)))
+	b = append(b, `,"kind":`...)
+	if k := f.Kind; int(k) < len(kindJSON) && kindJSON[k] != nil {
+		b = append(b, kindJSON[k]...)
+	} else {
+		b = appendJSONString(b, k.String())
+	}
+	b = append(b, `,"seq":`...)
+	b = appendUint(b, uint64(f.Seq))
+	if uint16(f.Origin) != 0 {
+		b = append(b, `,"origin":`...)
+		b = appendUint(b, uint64(uint16(f.Origin)))
+	}
+	b = append(b, `,"bits":`...)
+	b = appendInt(b, int64(f.Bits()))
+	if f.XID != 0 {
+		b = append(b, `,"xid":`...)
+		b = appendUint(b, f.XID)
+	}
+	return b
+}
+
+// num appends a float; a non-finite value poisons the stream exactly
+// as encoding/json's UnsupportedValueError used to (sticky error, line
+// dropped).
+func (j *JSONL) num(b []byte, f float64) []byte {
+	b, ok := appendJSONFloat(b, f)
+	if !ok && j.err == nil {
+		j.err = fmt.Errorf("obs: jsonl: unsupported value: %v", f)
+	}
+	return b
+}
+
+// appendAt appends the `{"at":<seconds>` line prefix, reusing the
+// formatted digits while consecutive events share an instant.
+func (j *JSONL) appendAt(b []byte, at sim.Time) []byte {
+	b = append(b, `{"at":`...)
+	if at == j.lastAt && j.atLen > 0 {
+		return append(b, j.atBuf[:j.atLen]...)
+	}
+	mark := len(b)
+	b = j.num(b, at.Seconds())
+	j.lastAt = at
+	j.atLen = uint8(copy(j.atBuf[:], b[mark:]))
+	return b
 }
 
 // Record implements Recorder.
 func (j *JSONL) Record(at sim.Time, e Event) {
-	if j.err != nil {
+	if j.err != nil || j.closed {
 		return
 	}
-	h := header{At: at.Seconds(), Event: e.Tag()}
-	var line any
+	b := j.cur
+	mark := len(b)
+	b = j.appendAt(b, at)
+	// Each case appends its `,"event":"…"` header as a constant: the
+	// tags are fixed safe ASCII, so quoting them is a literal, not an
+	// escape scan. The fidelity tests pin every literal to Tag().
 	switch ev := e.(type) {
-	case FrameEmit:
-		line = struct {
-			header
-			frameRef
-			DelayS  float64 `json:"delay"`
-			LevelDB float64 `json:"level_db"`
-		}{h, flatten(ev.Frame), ev.Delay.Seconds(), ev.LevelDB}
-	case TxBegin:
-		line = struct {
-			header
-			Node uint16 `json:"node"`
-			frameRef
-			DurS float64 `json:"dur"`
-		}{h, uint16(ev.Node), flatten(ev.Frame), ev.Dur.Seconds()}
-	case FrameRx:
-		line = struct {
-			header
-			Node uint16 `json:"node"`
-			frameRef
-		}{h, uint16(ev.Node), flatten(ev.Frame)}
-	case FrameLoss:
-		line = struct {
-			header
-			Node uint16 `json:"node"`
-			frameRef
-			Reason string `json:"reason"`
-		}{h, uint16(ev.Node), flatten(ev.Frame), ev.Reason}
-	case MACState:
-		line = struct {
-			header
-			Node uint16 `json:"node"`
-			From string `json:"from"`
-			To   string `json:"to"`
-			Slot int64  `json:"slot"`
-		}{h, uint16(ev.Node), ev.From, ev.To, ev.Slot}
-	case Contention:
-		line = struct {
-			header
-			Node    uint16 `json:"node"`
-			Peer    uint16 `json:"peer"`
-			Outcome string `json:"outcome"`
-			Slot    int64  `json:"slot"`
-			XID     uint64 `json:"xid,omitempty"`
-		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Outcome, ev.Slot, ev.XID}
-	case SlotPeriod:
-		line = struct {
-			header
-			Node   uint16 `json:"node"`
-			Peer   uint16 `json:"peer"`
-			Period string `json:"period"`
-			Slot   int64  `json:"slot"`
-		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Period, ev.Slot}
-	case Delivery:
-		line = struct {
-			header
-			Node     uint16  `json:"node"`
-			Origin   uint16  `json:"origin"`
-			Seq      uint32  `json:"seq"`
-			Bits     int     `json:"bits"`
-			LatencyS float64 `json:"latency"`
-			Extra    bool    `json:"extra,omitempty"`
-			XID      uint64  `json:"xid,omitempty"`
-		}{h, uint16(ev.Node), uint16(ev.Origin), ev.Seq, ev.Bits, ev.Latency.Seconds(), ev.Extra, ev.XID}
-	case Extra:
-		line = struct {
-			header
-			Node   uint16 `json:"node"`
-			Peer   uint16 `json:"peer"`
-			Action string `json:"action"`
-			Reason string `json:"reason,omitempty"`
-			XID    uint64 `json:"xid,omitempty"`
-			Parent uint64 `json:"parent,omitempty"`
-		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Action, ev.Reason, ev.XID, ev.Parent}
-	case Fault:
-		line = struct {
-			header
-			Node   uint16 `json:"node"`
-			Kind   string `json:"kind"`
-			Action string `json:"action"`
-			Detail string `json:"detail,omitempty"`
-		}{h, uint16(ev.Node), ev.Kind, ev.Action, ev.Detail}
-	case Recovery:
-		line = struct {
-			header
-			Node   uint16 `json:"node"`
-			Peer   uint16 `json:"peer,omitempty"`
-			Action string `json:"action"`
-			Detail string `json:"detail,omitempty"`
-		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Action, ev.Detail}
-	case PacketDrop:
-		line = struct {
-			header
-			Node   uint16 `json:"node"`
-			Peer   uint16 `json:"peer"`
-			Reason string `json:"reason"`
-			Origin uint16 `json:"origin,omitempty"`
-			Seq    uint32 `json:"seq"`
-		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Reason, uint16(ev.Origin), ev.Seq}
-	case Invariant:
-		line = struct {
-			header
-			Node   uint16 `json:"node"`
-			Check  string `json:"check"`
-			Detail string `json:"detail,omitempty"`
-		}{h, uint16(ev.Node), ev.Check, ev.Detail}
-	case EngineSample:
-		line = struct {
-			header
-			QueueDepth       int     `json:"queue_depth"`
-			EventsPerSec     float64 `json:"events_per_s"`
-			VirtualWallRatio float64 `json:"virt_wall"`
-		}{h, ev.QueueDepth, ev.EventsPerSec, ev.VirtualWallRatio}
+	case *FrameEmit:
+		b = append(b, `,"event":"chan.emit"`...)
+		b = appendFrame(b, ev.Frame)
+		b = append(b, `,"delay":`...)
+		b = j.num(b, ev.Delay.Seconds())
+		b = append(b, `,"level_db":`...)
+		b = j.num(b, ev.LevelDB)
+	case *TxBegin:
+		b = append(b, `,"event":"phy.tx","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = appendFrame(b, ev.Frame)
+		b = append(b, `,"dur":`...)
+		b = j.num(b, ev.Dur.Seconds())
+	case *FrameRx:
+		b = append(b, `,"event":"phy.rx","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = appendFrame(b, ev.Frame)
+	case *FrameLoss:
+		b = append(b, `,"event":"phy.loss","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = appendFrame(b, ev.Frame)
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, ev.Reason)
+	case *MACState:
+		b = append(b, `,"event":"mac.state","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"from":`...)
+		b = appendJSONString(b, ev.From)
+		b = append(b, `,"to":`...)
+		b = appendJSONString(b, ev.To)
+		b = append(b, `,"slot":`...)
+		b = appendInt(b, ev.Slot)
+	case *Contention:
+		b = append(b, `,"event":"mac.contention","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"peer":`...)
+		b = appendUint(b, uint64(uint16(ev.Peer)))
+		b = append(b, `,"outcome":`...)
+		b = appendJSONString(b, ev.Outcome)
+		b = append(b, `,"slot":`...)
+		b = appendInt(b, ev.Slot)
+		if ev.XID != 0 {
+			b = append(b, `,"xid":`...)
+			b = appendUint(b, ev.XID)
+		}
+	case *SlotPeriod:
+		b = append(b, `,"event":"mac.period","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"peer":`...)
+		b = appendUint(b, uint64(uint16(ev.Peer)))
+		b = append(b, `,"period":`...)
+		b = appendJSONString(b, ev.Period)
+		b = append(b, `,"slot":`...)
+		b = appendInt(b, ev.Slot)
+	case *Delivery:
+		b = append(b, `,"event":"mac.deliver","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"origin":`...)
+		b = appendUint(b, uint64(uint16(ev.Origin)))
+		b = append(b, `,"seq":`...)
+		b = appendUint(b, uint64(ev.Seq))
+		b = append(b, `,"bits":`...)
+		b = appendInt(b, int64(ev.Bits))
+		b = append(b, `,"latency":`...)
+		b = j.num(b, ev.Latency.Seconds())
+		if ev.Extra {
+			b = append(b, `,"extra":true`...)
+		}
+		if ev.XID != 0 {
+			b = append(b, `,"xid":`...)
+			b = appendUint(b, ev.XID)
+		}
+	case *Extra:
+		b = append(b, `,"event":"mac.extra","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"peer":`...)
+		b = appendUint(b, uint64(uint16(ev.Peer)))
+		b = append(b, `,"action":`...)
+		b = appendJSONString(b, ev.Action)
+		if ev.Reason != "" {
+			b = append(b, `,"reason":`...)
+			b = appendJSONString(b, ev.Reason)
+		}
+		if ev.XID != 0 {
+			b = append(b, `,"xid":`...)
+			b = appendUint(b, ev.XID)
+		}
+		if ev.Parent != 0 {
+			b = append(b, `,"parent":`...)
+			b = appendUint(b, ev.Parent)
+		}
+	case *Fault:
+		b = append(b, `,"event":"fault.event","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"kind":`...)
+		b = appendJSONString(b, ev.Kind)
+		b = append(b, `,"action":`...)
+		b = appendJSONString(b, ev.Action)
+		if ev.Detail != "" {
+			b = append(b, `,"detail":`...)
+			b = appendJSONString(b, ev.Detail)
+		}
+	case *Recovery:
+		b = append(b, `,"event":"mac.recovery","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		if uint16(ev.Peer) != 0 {
+			b = append(b, `,"peer":`...)
+			b = appendUint(b, uint64(uint16(ev.Peer)))
+		}
+		b = append(b, `,"action":`...)
+		b = appendJSONString(b, ev.Action)
+		if ev.Detail != "" {
+			b = append(b, `,"detail":`...)
+			b = appendJSONString(b, ev.Detail)
+		}
+	case *PacketDrop:
+		b = append(b, `,"event":"mac.drop","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"peer":`...)
+		b = appendUint(b, uint64(uint16(ev.Peer)))
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, ev.Reason)
+		if uint16(ev.Origin) != 0 {
+			b = append(b, `,"origin":`...)
+			b = appendUint(b, uint64(uint16(ev.Origin)))
+		}
+		b = append(b, `,"seq":`...)
+		b = appendUint(b, uint64(ev.Seq))
+	case *Invariant:
+		b = append(b, `,"event":"mac.invariant","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"check":`...)
+		b = appendJSONString(b, ev.Check)
+		if ev.Detail != "" {
+			b = append(b, `,"detail":`...)
+			b = appendJSONString(b, ev.Detail)
+		}
+	case *EngineSample:
+		b = append(b, `,"event":"engine.sample","queue_depth":`...)
+		b = appendInt(b, int64(ev.QueueDepth))
+		b = append(b, `,"events_per_s":`...)
+		b = j.num(b, ev.EventsPerSec)
+		b = append(b, `,"virt_wall":`...)
+		b = j.num(b, ev.VirtualWallRatio)
 	default:
 		// Future event types degrade to a tagged envelope rather than
-		// being dropped, so readers can at least count them.
-		line = struct {
-			header
-			Data Event `json:"data"`
-		}{h, e}
+		// being dropped, so readers can at least count them. This cold
+		// path may allocate; every simulator event takes a fast case
+		// above.
+		b = append(b, `,"event":`...)
+		b = appendJSONString(b, e.Tag())
+		raw, err := json.Marshal(e)
+		if err != nil {
+			if j.err == nil {
+				j.err = err
+			}
+			j.cur = b[:mark]
+			return
+		}
+		b = append(b, `,"data":`...)
+		b = append(b, raw...)
 	}
-	if err := j.enc.Encode(line); err != nil && j.err == nil {
-		j.err = err
+	if j.err != nil {
+		j.cur = b[:mark]
+		return
+	}
+	b = append(b, '}', '\n')
+	j.cur = b
+	if len(j.cur) >= batchFlushAt {
+		j.cur = j.bw.submit(j.cur)
 	}
 }

@@ -36,8 +36,8 @@ func TestLiveEndpoints(t *testing.T) {
 	l := NewLive()
 	l.SetRun("EW-MAC", 7, 20)
 	l.Progress(3, 9, "fig6")
-	l.Record(sim.At(time.Second), Delivery{Bits: 2048})
-	l.Record(sim.At(2*time.Second), Delivery{Bits: 2048})
+	l.Record(sim.At(time.Second), &Delivery{Bits: 2048})
+	l.Record(sim.At(2*time.Second), &Delivery{Bits: 2048})
 
 	srv := httptest.NewServer(l.Handler())
 	defer srv.Close()

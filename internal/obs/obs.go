@@ -10,6 +10,14 @@
 // pays exactly one predictable branch and zero allocations. Producers
 // never block on consumers: recorders run synchronously on the
 // simulation goroutine and must not re-enter the engine.
+//
+// With observability enabled the path is allocation-free too: emission
+// sites call the per-type Emit helpers (emit.go), which lease a record
+// from a per-type sync.Pool and deliver it to Record as a pointer
+// (*FrameEmit, *Delivery, …). Ownership rule: the record is reclaimed
+// the moment Record returns, so a recorder that keeps an event past
+// its own Record call must copy the struct. Frame pointers inside
+// events are shared copy-on-write frames and are safe to retain.
 package obs
 
 import (

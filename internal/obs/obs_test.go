@@ -24,12 +24,12 @@ func TestMultiDropsNils(t *testing.T) {
 	if single == nil {
 		t.Fatal("Multi with one live recorder should not be nil")
 	}
-	single.Record(0, Delivery{})
+	single.Record(0, &Delivery{})
 	if got != 1 {
 		t.Fatalf("single recorder called %d times, want 1", got)
 	}
 	both := Multi(r, r)
-	both.Record(0, Delivery{})
+	both.Record(0, &Delivery{})
 	if got != 3 {
 		t.Fatalf("fan-out recorder: %d calls total, want 3", got)
 	}
@@ -39,11 +39,11 @@ func TestJSONLSchema(t *testing.T) {
 	var buf bytes.Buffer
 	j := NewJSONL(&buf)
 	f := &packet.Frame{Kind: packet.KindRTS, Src: 3, Dst: 7, Seq: 9}
-	j.Record(sim.At(1500*time.Millisecond), FrameEmit{
+	j.Record(sim.At(1500*time.Millisecond), &FrameEmit{
 		Src: 3, Dst: 7, Frame: f, Delay: 250 * time.Millisecond, LevelDB: 120,
 	})
-	j.Record(sim.At(2*time.Second), Extra{Node: 5, Peer: 6, Action: ExtraDeny, Reason: "gap-too-small"})
-	j.Record(sim.At(3*time.Second), Delivery{Node: 1, Origin: 2, Seq: 4, Bits: 2048, Latency: time.Second})
+	j.Record(sim.At(2*time.Second), &Extra{Node: 5, Peer: 6, Action: ExtraDeny, Reason: "gap-too-small"})
+	j.Record(sim.At(3*time.Second), &Delivery{Node: 1, Origin: 2, Seq: 4, Bits: 2048, Latency: time.Second})
 	if err := j.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -87,17 +87,17 @@ func TestJSONLSchema(t *testing.T) {
 func TestCollectorReport(t *testing.T) {
 	c := NewCollector()
 	at := sim.At(time.Second)
-	c.Record(at, Contention{Outcome: ContentionWon})
-	c.Record(at, Contention{Outcome: ContentionWon})
-	c.Record(at, Contention{Outcome: ContentionWon})
-	c.Record(at, Contention{Outcome: ContentionTimeout})
-	c.Record(at, Extra{Action: ExtraRequest})
-	c.Record(at, Extra{Action: ExtraRequest})
-	c.Record(at, Extra{Action: ExtraComplete})
-	c.Record(at, Extra{Action: ExtraDeny, Reason: "neighbor-conflict"})
-	c.Record(at, FrameLoss{Reason: "collision"})
-	c.Record(at, Delivery{Bits: 2048})
-	c.Record(at, Delivery{Bits: 2048, Extra: true})
+	c.Record(at, &Contention{Outcome: ContentionWon})
+	c.Record(at, &Contention{Outcome: ContentionWon})
+	c.Record(at, &Contention{Outcome: ContentionWon})
+	c.Record(at, &Contention{Outcome: ContentionTimeout})
+	c.Record(at, &Extra{Action: ExtraRequest})
+	c.Record(at, &Extra{Action: ExtraRequest})
+	c.Record(at, &Extra{Action: ExtraComplete})
+	c.Record(at, &Extra{Action: ExtraDeny, Reason: "neighbor-conflict"})
+	c.Record(at, &FrameLoss{Reason: "collision"})
+	c.Record(at, &Delivery{Bits: 2048})
+	c.Record(at, &Delivery{Bits: 2048, Extra: true})
 
 	r := c.Report(10)
 	if r.DeliveredPackets != 2 || r.DeliveredBits != 4096 || r.ExtraDelivered != 1 {
@@ -133,8 +133,8 @@ func TestReportZeroDurationNoNaN(t *testing.T) {
 
 func TestWritePromFormat(t *testing.T) {
 	c := NewCollector()
-	c.Record(0, Delivery{Bits: 1024})
-	c.Record(0, FrameLoss{Reason: "collision"})
+	c.Record(0, &Delivery{Bits: 1024})
+	c.Record(0, &FrameLoss{Reason: "collision"})
 	r := c.Report(5)
 	r.Protocol = "EW-MAC"
 
@@ -177,7 +177,7 @@ func TestSamplerRowsAndEngineSamples(t *testing.T) {
 	}
 	var samples int
 	s.SetRecorder(RecorderFunc(func(_ sim.Time, e Event) {
-		if _, ok := e.(EngineSample); ok {
+		if _, ok := e.(*EngineSample); ok {
 			samples++
 		}
 	}))

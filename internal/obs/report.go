@@ -5,16 +5,61 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ewmac/internal/sim"
 )
 
 // Collector is a Recorder that aggregates events into counters for the
-// per-run report. It holds no references to frames, so collecting is
-// cheap enough to leave on for every trial of a sweep.
+// per-run report. It holds no references to frames and allocates
+// nothing on the steady-state path: composite "a/b" keys are interned
+// once per distinct pair, and per-node drop counts are kept in a
+// numeric-keyed table that is formatted only at snapshot time.
+// tagIdx orders the simulator's event types for the Collector's flat
+// per-tag counter table; tagNames maps each slot back to its Tag().
+const (
+	tagEmit = iota
+	tagTx
+	tagRx
+	tagLoss
+	tagState
+	tagContention
+	tagPeriod
+	tagDeliver
+	tagExtra
+	tagRecovery
+	tagDrop
+	tagFault
+	tagInvariant
+	tagSample
+	tagCount
+)
+
+var tagNames = [tagCount]string{
+	tagEmit:       FrameEmit{}.Tag(),
+	tagTx:         TxBegin{}.Tag(),
+	tagRx:         FrameRx{}.Tag(),
+	tagLoss:       FrameLoss{}.Tag(),
+	tagState:      MACState{}.Tag(),
+	tagContention: Contention{}.Tag(),
+	tagPeriod:     SlotPeriod{}.Tag(),
+	tagDeliver:    Delivery{}.Tag(),
+	tagExtra:      Extra{}.Tag(),
+	tagRecovery:   Recovery{}.Tag(),
+	tagDrop:       PacketDrop{}.Tag(),
+	tagFault:      Fault{}.Tag(),
+	tagInvariant:  Invariant{}.Tag(),
+	tagSample:     EngineSample{}.Tag(),
+}
+
 type Collector struct {
-	events     map[string]uint64
+	// tags counts the known event types without touching a map on the
+	// hot fold; events catches only unknown (future) types. The two are
+	// merged into the report's string-keyed Events at snapshot time.
+	tags   [tagCount]uint64
+	events map[string]uint64
+
 	losses     map[string]uint64
 	contention map[string]uint64
 	extras     map[string]uint64
@@ -23,7 +68,11 @@ type Collector struct {
 	invariants map[string]uint64
 	recovery   map[string]uint64
 	drops      map[string]uint64
-	dropsNode  map[string]uint64
+	dropsNode  []uint64 // indexed by node id; see Report
+
+	// pairKeys interns the "a/b" composite keys (deny action/reason,
+	// fault kind/action) so folding a repeated pair never concatenates.
+	pairKeys map[[2]string]string
 
 	delivered      uint64
 	deliveredBits  uint64
@@ -43,41 +92,80 @@ func NewCollector() *Collector {
 		invariants: make(map[string]uint64),
 		recovery:   make(map[string]uint64),
 		drops:      make(map[string]uint64),
-		dropsNode:  make(map[string]uint64),
+		pairKeys:   make(map[[2]string]string),
 	}
+}
+
+// pairKey returns the interned "a/b" key, concatenating only the first
+// time a pair is seen.
+func (c *Collector) pairKey(a, b string) string {
+	k := [2]string{a, b}
+	if s, ok := c.pairKeys[k]; ok {
+		return s
+	}
+	s := a + "/" + b
+	c.pairKeys[k] = s
+	return s
 }
 
 // Record implements Recorder.
 func (c *Collector) Record(at sim.Time, e Event) {
-	c.events[e.Tag()]++
 	if at > c.lastAt {
 		c.lastAt = at
 	}
 	switch ev := e.(type) {
-	case FrameLoss:
+	case *FrameEmit:
+		c.tags[tagEmit]++
+	case *TxBegin:
+		c.tags[tagTx]++
+	case *FrameRx:
+		c.tags[tagRx]++
+	case *FrameLoss:
+		c.tags[tagLoss]++
 		c.losses[ev.Reason]++
-	case Contention:
+	case *MACState:
+		c.tags[tagState]++
+	case *Contention:
+		c.tags[tagContention]++
 		c.contention[ev.Outcome]++
-	case Extra:
-		c.extras[ev.Action]++
-		if ev.Reason != "" {
-			c.deny[ev.Action+"/"+ev.Reason]++
-		}
-	case Fault:
-		c.faults[ev.Kind+"/"+ev.Action]++
-	case Invariant:
-		c.invariants[ev.Check]++
-	case Recovery:
-		c.recovery[ev.Action]++
-	case PacketDrop:
-		c.drops[ev.Reason]++
-		c.dropsNode[fmt.Sprintf("%d", uint16(ev.Node))]++
-	case Delivery:
+	case *SlotPeriod:
+		c.tags[tagPeriod]++
+	case *Delivery:
+		c.tags[tagDeliver]++
 		c.delivered++
 		c.deliveredBits += uint64(ev.Bits)
 		if ev.Extra {
 			c.extraDelivered++
 		}
+	case *Extra:
+		c.tags[tagExtra]++
+		c.extras[ev.Action]++
+		if ev.Reason != "" {
+			c.deny[c.pairKey(ev.Action, ev.Reason)]++
+		}
+	case *Recovery:
+		c.tags[tagRecovery]++
+		c.recovery[ev.Action]++
+	case *PacketDrop:
+		c.tags[tagDrop]++
+		c.drops[ev.Reason]++
+		id := int(uint16(ev.Node))
+		if id >= len(c.dropsNode) {
+			grown := make([]uint64, id+1)
+			copy(grown, c.dropsNode)
+			c.dropsNode = grown
+		}
+		c.dropsNode[id]++
+	case *Fault:
+		c.tags[tagFault]++
+		c.faults[c.pairKey(ev.Kind, ev.Action)]++
+	case *Invariant:
+		c.tags[tagInvariant]++
+		c.invariants[ev.Check]++
+	case *EngineSample:
+		c.tags[tagSample]++
+	default:
+		c.events[e.Tag()]++
 	}
 }
 
@@ -206,7 +294,7 @@ type SupervisionStats struct {
 func (c *Collector) Report(durationS float64) *RunReport {
 	r := &RunReport{
 		DurationS:        durationS,
-		Events:           copyMap(c.events),
+		Events:           c.eventTotals(),
 		Losses:           copyMap(c.losses),
 		Contention:       copyMap(c.contention),
 		Extras:           copyMap(c.extras),
@@ -215,7 +303,7 @@ func (c *Collector) Report(durationS float64) *RunReport {
 		Invariants:       copyMap(c.invariants),
 		RecoveryEvents:   copyMap(c.recovery),
 		Drops:            copyMap(c.drops),
-		DropsByNode:      copyMap(c.dropsNode),
+		DropsByNode:      c.dropsByNode(),
 		DeliveredPackets: c.delivered,
 		DeliveredBits:    c.deliveredBits,
 		ExtraDelivered:   c.extraDelivered,
@@ -231,6 +319,47 @@ func (c *Collector) Report(durationS float64) *RunReport {
 		r.ContentionWinRate = float64(c.contention[ContentionWon]) / float64(rounds)
 	}
 	return r
+}
+
+// eventTotals merges the flat per-tag counters with the unknown-type
+// overflow map into the report's string-keyed event counts.
+func (c *Collector) eventTotals() map[string]uint64 {
+	n := len(c.events)
+	for _, v := range c.tags {
+		if v > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, n)
+	for k, v := range c.events {
+		out[k] = v
+	}
+	for i, v := range c.tags {
+		if v > 0 {
+			out[tagNames[i]] = v
+		}
+	}
+	return out
+}
+
+// dropsByNode formats the numeric-keyed drop table into the report's
+// string-keyed map (decimal node ids, as the trace schema has always
+// shown them). Snapshot-time only; the fold itself never formats.
+func (c *Collector) dropsByNode() map[string]uint64 {
+	var out map[string]uint64
+	for id, n := range c.dropsNode {
+		if n == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]uint64)
+		}
+		out[strconv.Itoa(id)] = n
+	}
+	return out
 }
 
 func copyMap(m map[string]uint64) map[string]uint64 {

@@ -33,8 +33,8 @@ func TestPromLabel(t *testing.T) {
 // strings.
 func TestWritePromEscapesLabelValues(t *testing.T) {
 	c := NewCollector()
-	c.Record(0, Delivery{Bits: 1024})
-	c.Record(0, FrameLoss{Reason: "odd \"reason\"\\with\nnewline"})
+	c.Record(0, &Delivery{Bits: 1024})
+	c.Record(0, &FrameLoss{Reason: "odd \"reason\"\\with\nnewline"})
 	r := c.Report(1)
 	r.Protocol = `EW"MAC\v1`
 

@@ -34,6 +34,10 @@ type Sampler struct {
 	rec   Recorder
 	err   error
 
+	// cell is the scratch buffer CSV numbers are formatted into, so a
+	// sample formats without allocating.
+	cell []byte
+
 	lastExec uint64
 	lastAt   sim.Time
 	lastWall time.Time
@@ -105,7 +109,8 @@ func (s *Sampler) sample() {
 	s.lastExec, s.lastAt, s.lastWall = exec, now, wall
 
 	depth := s.eng.Pending()
-	s.bw.WriteString(strconv.FormatFloat(now.Seconds(), 'g', -1, 64))
+	s.cell = strconv.AppendFloat(s.cell[:0], now.Seconds(), 'g', -1, 64)
+	s.bw.Write(s.cell)
 	s.writeCell(float64(depth))
 	s.writeCell(eps)
 	s.writeCell(ratio)
@@ -115,17 +120,18 @@ func (s *Sampler) sample() {
 	s.bw.WriteByte('\n')
 
 	if s.rec != nil {
-		s.rec.Record(now, EngineSample{
+		EngineSample{
 			QueueDepth:       depth,
 			EventsPerSec:     eps,
 			VirtualWallRatio: ratio,
-		})
+		}.Emit(s.rec, now)
 	}
 }
 
 func (s *Sampler) writeCell(v float64) {
 	s.bw.WriteByte(',')
-	s.bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	s.cell = strconv.AppendFloat(s.cell[:0], v, 'g', -1, 64)
+	s.bw.Write(s.cell)
 }
 
 // Flush drains the CSV buffer.

@@ -131,17 +131,17 @@ func (p *Profiler) node(id packet.NodeID) *nodeProf {
 // Record implements obs.Recorder.
 func (p *Profiler) Record(at sim.Time, e obs.Event) {
 	switch ev := e.(type) {
-	case obs.TxBegin:
+	case *obs.TxBegin:
 		n := p.node(ev.Node)
 		n.tx = append(n.tx, interval{
 			start: int64(at), end: int64(at.Add(ev.Dur)),
 			extra: ev.Frame.Kind.IsExtra(),
 		})
-	case obs.FrameRx:
+	case *obs.FrameRx:
 		p.addRx(at, ev.Node, ev.Frame)
-	case obs.FrameLoss:
+	case *obs.FrameLoss:
 		p.addRx(at, ev.Node, ev.Frame)
-	case obs.MACState:
+	case *obs.MACState:
 		n := p.node(ev.Node)
 		toIdle := ev.To == "idle"
 		if !n.engaged && !toIdle {

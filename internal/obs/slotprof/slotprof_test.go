@@ -68,9 +68,9 @@ func TestClassificationPartitionsSlot(t *testing.T) {
 	})
 	ms := time.Millisecond
 	// Busy (non-idle MAC role) from 100ms to 900ms; primary tx 200-400ms.
-	p.Record(at(100*ms), obs.MACState{Node: 1, From: "idle", To: "wait-cts"})
-	p.Record(at(200*ms), obs.TxBegin{Node: 1, Frame: &packet.Frame{Kind: packet.KindData}, Dur: 200 * ms})
-	p.Record(at(900*ms), obs.MACState{Node: 1, From: "wait-cts", To: "idle"})
+	p.Record(at(100*ms), &obs.MACState{Node: 1, From: "idle", To: "wait-cts"})
+	p.Record(at(200*ms), &obs.TxBegin{Node: 1, Frame: &packet.Frame{Kind: packet.KindData}, Dur: 200 * ms})
+	p.Record(at(900*ms), &obs.MACState{Node: 1, From: "wait-cts", To: "idle"})
 
 	sum, err := p.Finish(at(2 * time.Second))
 	if err != nil {
@@ -114,11 +114,11 @@ func TestExtraPromotesToReclaimed(t *testing.T) {
 	})
 	ms := time.Millisecond
 	// Busy all slot; EXData tx 100-300ms; the rest of the busy time waits.
-	p.Record(at(0), obs.MACState{Node: 2, From: "idle", To: "extra"})
-	p.Record(at(100*ms), obs.TxBegin{Node: 2, Frame: &packet.Frame{Kind: packet.KindEXData}, Dur: 200 * ms})
+	p.Record(at(0), &obs.MACState{Node: 2, From: "idle", To: "extra"})
+	p.Record(at(100*ms), &obs.TxBegin{Node: 2, Frame: &packet.Frame{Kind: packet.KindEXData}, Dur: 200 * ms})
 	// Extra reception: frame of 100 bits at 1000 b/s = 100ms, ending 500ms.
 	exd := &packet.Frame{Kind: packet.KindEXAck, DataBits: 0}
-	p.Record(at(500*ms), obs.FrameRx{Node: 2, Frame: exd})
+	p.Record(at(500*ms), &obs.FrameRx{Node: 2, Frame: exd})
 	rxDur := exd.TxDuration(1000).Seconds()
 
 	sum, err := p.Finish(at(time.Second))
@@ -155,11 +155,11 @@ func TestPriorityTxOverRx(t *testing.T) {
 		Start: 0, End: at(time.Second), Writer: &buf,
 	})
 	ms := time.Millisecond
-	p.Record(at(100*ms), obs.TxBegin{Node: 3, Frame: &packet.Frame{Kind: packet.KindData}, Dur: 400 * ms})
+	p.Record(at(100*ms), &obs.TxBegin{Node: 3, Frame: &packet.Frame{Kind: packet.KindData}, Dur: 400 * ms})
 	// A loss event lands mid-transmission (overlap 100-500 vs rx ending
 	// at 450ms with negligible duration at 1e6 b/s: 64 control bits =
 	// 64µs, inside the tx interval).
-	p.Record(at(450*ms), obs.FrameLoss{Node: 3, Frame: &packet.Frame{Kind: packet.KindRTS}})
+	p.Record(at(450*ms), &obs.FrameLoss{Node: 3, Frame: &packet.Frame{Kind: packet.KindRTS}})
 
 	_, err := p.Finish(at(time.Second))
 	if err != nil {
@@ -185,8 +185,8 @@ func TestWindowClipping(t *testing.T) {
 	})
 	ms := time.Millisecond
 	// Tx starts before the window and a busy period never closes.
-	p.Record(at(500*ms), obs.TxBegin{Node: 1, Frame: &packet.Frame{Kind: packet.KindData}, Dur: time.Second})
-	p.Record(at(2*time.Second), obs.MACState{Node: 1, From: "idle", To: "wait-data"})
+	p.Record(at(500*ms), &obs.TxBegin{Node: 1, Frame: &packet.Frame{Kind: packet.KindData}, Dur: time.Second})
+	p.Record(at(2*time.Second), &obs.MACState{Node: 1, From: "idle", To: "wait-data"})
 
 	// Finish early, mid-slot: window [1s, 3.5s) keeps slots 1 and 2 only.
 	sum, err := p.Finish(at(3500 * ms))

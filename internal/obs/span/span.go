@@ -123,12 +123,47 @@ type Assembler struct {
 	faults     map[faultKey]*Span      // open fault windows
 	seq        uint64                  // next span open-order number
 	stats      Stats
+
+	// outcomes interns the "deny:<reason>"/"abort:<reason>" strings so
+	// repeated denials fold without concatenating.
+	outcomes map[[2]string]string
+}
+
+// outcome returns the interned prefix+reason terminal-outcome string.
+func (a *Assembler) outcome(prefix, reason string) string {
+	k := [2]string{prefix, reason}
+	if s, ok := a.outcomes[k]; ok {
+		return s
+	}
+	if a.outcomes == nil {
+		a.outcomes = make(map[[2]string]string)
+	}
+	s := prefix + reason
+	a.outcomes[k] = s
+	return s
 }
 
 type faultKey struct {
 	node packet.NodeID
 	kind string
 }
+
+// legName interns the "<Kind>-tx/-rx/-lost" leg labels so the
+// per-frame fold never concatenates. Built once over the valid kinds.
+var legName = func() map[packet.Kind][3]string {
+	m := make(map[packet.Kind][3]string)
+	for k := packet.Kind(1); k.Valid(); k++ {
+		s := k.String()
+		m[k] = [3]string{s + "-tx", s + "-rx", s + "-lost"}
+	}
+	return m
+}()
+
+const (
+	legTx = iota
+	legRx
+	legLost
+)
 
 // New returns an assembler writing span JSONL to w.
 func New(w io.Writer) *Assembler {
@@ -251,7 +286,7 @@ func (a *Assembler) closeSpan(s *Span, at float64, complete bool, outcome string
 func (a *Assembler) Record(at sim.Time, e obs.Event) {
 	t := at.Seconds()
 	switch ev := e.(type) {
-	case obs.TxBegin:
+	case *obs.TxBegin:
 		if ev.Frame.XID == 0 {
 			return
 		}
@@ -259,12 +294,12 @@ func (a *Assembler) Record(at sim.Time, e obs.Event) {
 		if s == nil {
 			return
 		}
-		s.leg(t, ev.Node, ev.Frame.Kind.String()+"-tx")
+		s.leg(t, ev.Node, legName[ev.Frame.Kind][legTx])
 		if end := t + ev.Dur.Seconds(); end > s.End {
 			s.End = end
 		}
 
-	case obs.FrameRx:
+	case *obs.FrameRx:
 		f := ev.Frame
 		if f.XID == 0 || f.Dst != ev.Node {
 			return
@@ -273,7 +308,7 @@ func (a *Assembler) Record(at sim.Time, e obs.Event) {
 		if s == nil {
 			return
 		}
-		s.leg(t, ev.Node, f.Kind.String()+"-rx")
+		s.leg(t, ev.Node, legName[f.Kind][legRx])
 		// The final acknowledgement arriving back at the initiator is
 		// the span's terminal success: upgrade and flush.
 		if (f.Kind == packet.KindAck || f.Kind == packet.KindEXAck) &&
@@ -286,19 +321,19 @@ func (a *Assembler) Record(at sim.Time, e obs.Event) {
 			a.flush(s)
 		}
 
-	case obs.FrameLoss:
+	case *obs.FrameLoss:
 		f := ev.Frame
 		if f.XID == 0 || f.Dst != ev.Node {
 			return
 		}
 		if s := a.get(at, f.XID, f); s != nil {
-			s.leg(t, ev.Node, f.Kind.String()+"-lost")
+			s.leg(t, ev.Node, legName[f.Kind][legLost])
 		}
 
-	case obs.Contention:
+	case *obs.Contention:
 		a.onContention(t, ev)
 
-	case obs.Delivery:
+	case *obs.Delivery:
 		a.stats.Deliveries++
 		s := a.open[ev.XID]
 		if ev.XID == 0 || s == nil {
@@ -312,10 +347,10 @@ func (a *Assembler) Record(at sim.Time, e obs.Event) {
 		s.LatencyS = ev.Latency.Seconds()
 		s.leg(t, ev.Node, "delivered")
 
-	case obs.Extra:
+	case *obs.Extra:
 		a.onExtra(t, ev)
 
-	case obs.Fault:
+	case *obs.Fault:
 		k := faultKey{node: ev.Node, kind: ev.Kind}
 		switch ev.Action {
 		case obs.FaultInject:
@@ -342,7 +377,7 @@ func (a *Assembler) Record(at sim.Time, e obs.Event) {
 
 // onContention folds one contention step into the per-node contention
 // span and, on terminal outcomes, closes the handshake span too.
-func (a *Assembler) onContention(t float64, ev obs.Contention) {
+func (a *Assembler) onContention(t float64, ev *obs.Contention) {
 	switch ev.Outcome {
 	case obs.ContentionRTS:
 		a.seq++
@@ -385,7 +420,7 @@ func (a *Assembler) onContention(t float64, ev obs.Contention) {
 }
 
 // onExtra folds one extra-communication lifecycle step into its span.
-func (a *Assembler) onExtra(t float64, ev obs.Extra) {
+func (a *Assembler) onExtra(t float64, ev *obs.Extra) {
 	if ev.XID == 0 {
 		// Pre-flight denial: no frame ever existed, nothing to span.
 		return
@@ -416,10 +451,10 @@ func (a *Assembler) onExtra(t float64, ev obs.Extra) {
 		s.leg(t, ev.Node, "extra-grant")
 	case obs.ExtraDeny:
 		s.leg(t, ev.Node, "extra-deny")
-		a.closeSpan(s, t, false, "deny:"+ev.Reason)
+		a.closeSpan(s, t, false, a.outcome("deny:", ev.Reason))
 	case obs.ExtraAbort:
 		s.leg(t, ev.Node, "extra-abort")
-		a.closeSpan(s, t, false, "abort:"+ev.Reason)
+		a.closeSpan(s, t, false, a.outcome("abort:", ev.Reason))
 	case obs.ExtraComplete:
 		s.leg(t, ev.Node, "extra-complete")
 		s.delivered = true

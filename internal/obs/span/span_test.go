@@ -49,18 +49,18 @@ func TestHandshakeSpan(t *testing.T) {
 	const x = uint64(1)<<32 | 1
 	ms := time.Millisecond
 
-	a.Record(at(0), obs.Contention{Node: 1, Peer: 2, Outcome: obs.ContentionRTS, XID: x})
-	a.Record(at(0), obs.TxBegin{Node: 1, Frame: frame(packet.KindRTS, 1, 2, x), Dur: 5 * ms})
-	a.Record(at(10*ms), obs.FrameRx{Node: 2, Frame: frame(packet.KindRTS, 1, 2, x)})
-	a.Record(at(11*ms), obs.Contention{Node: 2, Peer: 1, Outcome: obs.ContentionGrant, XID: x})
-	a.Record(at(12*ms), obs.TxBegin{Node: 2, Frame: frame(packet.KindCTS, 2, 1, x), Dur: 5 * ms})
-	a.Record(at(20*ms), obs.FrameRx{Node: 1, Frame: frame(packet.KindCTS, 2, 1, x)})
-	a.Record(at(20*ms), obs.Contention{Node: 1, Peer: 2, Outcome: obs.ContentionWon, XID: x})
-	a.Record(at(25*ms), obs.TxBegin{Node: 1, Frame: frame(packet.KindData, 1, 2, x), Dur: 50 * ms})
-	a.Record(at(80*ms), obs.FrameRx{Node: 2, Frame: frame(packet.KindData, 1, 2, x)})
-	a.Record(at(80*ms), obs.Delivery{Node: 2, Origin: 1, Bits: 2048, Latency: 80 * ms, XID: x})
-	a.Record(at(85*ms), obs.TxBegin{Node: 2, Frame: frame(packet.KindAck, 2, 1, x), Dur: 5 * ms})
-	a.Record(at(95*ms), obs.FrameRx{Node: 1, Frame: frame(packet.KindAck, 2, 1, x)})
+	a.Record(at(0), &obs.Contention{Node: 1, Peer: 2, Outcome: obs.ContentionRTS, XID: x})
+	a.Record(at(0), &obs.TxBegin{Node: 1, Frame: frame(packet.KindRTS, 1, 2, x), Dur: 5 * ms})
+	a.Record(at(10*ms), &obs.FrameRx{Node: 2, Frame: frame(packet.KindRTS, 1, 2, x)})
+	a.Record(at(11*ms), &obs.Contention{Node: 2, Peer: 1, Outcome: obs.ContentionGrant, XID: x})
+	a.Record(at(12*ms), &obs.TxBegin{Node: 2, Frame: frame(packet.KindCTS, 2, 1, x), Dur: 5 * ms})
+	a.Record(at(20*ms), &obs.FrameRx{Node: 1, Frame: frame(packet.KindCTS, 2, 1, x)})
+	a.Record(at(20*ms), &obs.Contention{Node: 1, Peer: 2, Outcome: obs.ContentionWon, XID: x})
+	a.Record(at(25*ms), &obs.TxBegin{Node: 1, Frame: frame(packet.KindData, 1, 2, x), Dur: 50 * ms})
+	a.Record(at(80*ms), &obs.FrameRx{Node: 2, Frame: frame(packet.KindData, 1, 2, x)})
+	a.Record(at(80*ms), &obs.Delivery{Node: 2, Origin: 1, Bits: 2048, Latency: 80 * ms, XID: x})
+	a.Record(at(85*ms), &obs.TxBegin{Node: 2, Frame: frame(packet.KindAck, 2, 1, x), Dur: 5 * ms})
+	a.Record(at(95*ms), &obs.FrameRx{Node: 1, Frame: frame(packet.KindAck, 2, 1, x)})
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -112,9 +112,9 @@ func TestContentionTimeoutClosesHandshake(t *testing.T) {
 	const x = uint64(3)<<32 | 7
 	ms := time.Millisecond
 
-	a.Record(at(0), obs.Contention{Node: 3, Peer: 4, Outcome: obs.ContentionRTS, XID: x})
-	a.Record(at(0), obs.TxBegin{Node: 3, Frame: frame(packet.KindRTS, 3, 4, x), Dur: 5 * ms})
-	a.Record(at(time.Second), obs.Contention{Node: 3, Peer: 4, Outcome: obs.ContentionTimeout, XID: x})
+	a.Record(at(0), &obs.Contention{Node: 3, Peer: 4, Outcome: obs.ContentionRTS, XID: x})
+	a.Record(at(0), &obs.TxBegin{Node: 3, Frame: frame(packet.KindRTS, 3, 4, x), Dur: 5 * ms})
+	a.Record(at(time.Second), &obs.Contention{Node: 3, Peer: 4, Outcome: obs.ContentionTimeout, XID: x})
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -142,9 +142,9 @@ func TestDeliveredSurvivesLateClose(t *testing.T) {
 	const x = uint64(5)<<32 | 2
 	ms := time.Millisecond
 
-	a.Record(at(0), obs.TxBegin{Node: 5, Frame: frame(packet.KindData, 5, 6, x), Dur: 50 * ms})
-	a.Record(at(60*ms), obs.FrameRx{Node: 6, Frame: frame(packet.KindData, 5, 6, x)})
-	a.Record(at(60*ms), obs.Delivery{Node: 6, Origin: 5, Bits: 1024, Latency: 60 * ms, XID: x})
+	a.Record(at(0), &obs.TxBegin{Node: 5, Frame: frame(packet.KindData, 5, 6, x), Dur: 50 * ms})
+	a.Record(at(60*ms), &obs.FrameRx{Node: 6, Frame: frame(packet.KindData, 5, 6, x)})
+	a.Record(at(60*ms), &obs.Delivery{Node: 6, Origin: 5, Bits: 1024, Latency: 60 * ms, XID: x})
 	// Ack never arrives; the run ends with the span still open.
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
@@ -168,12 +168,12 @@ func TestExtraLifecycle(t *testing.T) {
 	const x = uint64(9)<<32 | 1
 	ms := time.Millisecond
 
-	a.Record(at(0), obs.Extra{Node: 9, Peer: 2, Action: obs.ExtraDeny, Reason: "gap-too-small", XID: 0, Parent: parent})
-	a.Record(at(5*ms), obs.Extra{Node: 9, Peer: 2, Action: obs.ExtraRequest, XID: x, Parent: parent})
-	a.Record(at(6*ms), obs.TxBegin{Node: 9, Frame: frame(packet.KindEXR, 9, 2, x), Dur: 5 * ms})
-	a.Record(at(15*ms), obs.FrameRx{Node: 2, Frame: frame(packet.KindEXR, 9, 2, x)})
-	a.Record(at(16*ms), obs.Extra{Node: 2, Peer: 9, Action: obs.ExtraGrant, XID: x, Parent: parent})
-	a.Record(at(40*ms), obs.Extra{Node: 9, Peer: 2, Action: obs.ExtraComplete, XID: x, Parent: parent})
+	a.Record(at(0), &obs.Extra{Node: 9, Peer: 2, Action: obs.ExtraDeny, Reason: "gap-too-small", XID: 0, Parent: parent})
+	a.Record(at(5*ms), &obs.Extra{Node: 9, Peer: 2, Action: obs.ExtraRequest, XID: x, Parent: parent})
+	a.Record(at(6*ms), &obs.TxBegin{Node: 9, Frame: frame(packet.KindEXR, 9, 2, x), Dur: 5 * ms})
+	a.Record(at(15*ms), &obs.FrameRx{Node: 2, Frame: frame(packet.KindEXR, 9, 2, x)})
+	a.Record(at(16*ms), &obs.Extra{Node: 2, Peer: 9, Action: obs.ExtraGrant, XID: x, Parent: parent})
+	a.Record(at(40*ms), &obs.Extra{Node: 9, Peer: 2, Action: obs.ExtraComplete, XID: x, Parent: parent})
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -196,8 +196,8 @@ func TestExtraAbortIncomplete(t *testing.T) {
 	var buf bytes.Buffer
 	a := New(&buf)
 	const x = uint64(4)<<32 | 3
-	a.Record(at(0), obs.Extra{Node: 4, Peer: 8, Action: obs.ExtraRequest, XID: x, Parent: 1})
-	a.Record(at(time.Second), obs.Extra{Node: 4, Peer: 8, Action: obs.ExtraAbort, Reason: "exc-timeout", XID: x, Parent: 1})
+	a.Record(at(0), &obs.Extra{Node: 4, Peer: 8, Action: obs.ExtraRequest, XID: x, Parent: 1})
+	a.Record(at(time.Second), &obs.Extra{Node: 4, Peer: 8, Action: obs.ExtraAbort, Reason: "exc-timeout", XID: x, Parent: 1})
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestExtraAbortIncomplete(t *testing.T) {
 func TestOrphanDelivery(t *testing.T) {
 	var buf bytes.Buffer
 	a := New(&buf)
-	a.Record(at(0), obs.Delivery{Node: 1, Origin: 2, Bits: 512, XID: 12345})
+	a.Record(at(0), &obs.Delivery{Node: 1, Origin: 2, Bits: 512, XID: 12345})
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -229,8 +229,8 @@ func TestOrphanDelivery(t *testing.T) {
 func TestFaultWindowSpan(t *testing.T) {
 	var buf bytes.Buffer
 	a := New(&buf)
-	a.Record(at(time.Second), obs.Fault{Node: 7, Kind: "mute", Action: obs.FaultInject})
-	a.Record(at(3*time.Second), obs.Fault{Node: 7, Kind: "mute", Action: obs.FaultClear})
+	a.Record(at(time.Second), &obs.Fault{Node: 7, Kind: "mute", Action: obs.FaultInject})
+	a.Record(at(3*time.Second), &obs.Fault{Node: 7, Kind: "mute", Action: obs.FaultClear})
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestCloseFlushOrderDeterministic(t *testing.T) {
 		for i := 20; i >= 1; i-- {
 			x := uint64(i)<<32 | 1
 			a.Record(at(time.Duration(i)*ms),
-				obs.TxBegin{Node: packet.NodeID(i), Frame: frame(packet.KindData, packet.NodeID(i), 0, x), Dur: ms})
+				&obs.TxBegin{Node: packet.NodeID(i), Frame: frame(packet.KindData, packet.NodeID(i), 0, x), Dur: ms})
 		}
 		if err := a.Close(); err != nil {
 			t.Fatal(err)

@@ -274,9 +274,7 @@ func (m *Modem) Transmit(f *packet.Frame) error {
 	}
 	m.accountTx(f)
 	m.updateEnergyState()
-	if m.rec != nil {
-		m.rec.Record(m.eng.Now(), obs.TxBegin{Node: m.id, Frame: f, Dur: dur})
-	}
+	obs.TxBegin{Node: m.id, Frame: f, Dur: dur}.Emit(m.rec, m.eng.Now())
 	// finishTx is scheduled even when the medium rejects the frame: the
 	// transmitter already committed its on-air time and energy, and the
 	// modem must return to idle rather than stay wedged in tx state.
@@ -403,9 +401,7 @@ func (m *Modem) endArrival(a *arrival) {
 	}
 	m.stats.FramesRx++
 	m.stats.BitsRx += uint64(a.frame.Bits())
-	if m.rec != nil {
-		m.rec.Record(m.eng.Now(), obs.FrameRx{Node: m.id, Frame: a.frame})
-	}
+	obs.FrameRx{Node: m.id, Frame: a.frame}.Emit(m.rec, m.eng.Now())
 	if m.rxTap != nil {
 		m.rxTap(a.frame)
 	}
@@ -415,11 +411,9 @@ func (m *Modem) endArrival(a *arrival) {
 }
 
 func (m *Modem) notifyLost(f *packet.Frame, r LossReason) {
-	if m.rec != nil {
-		m.rec.Record(m.eng.Now(), obs.FrameLoss{
-			Node: m.id, Frame: f, ReasonCode: uint8(r), Reason: r.String(),
-		})
-	}
+	obs.FrameLoss{
+		Node: m.id, Frame: f, ReasonCode: uint8(r), Reason: r.String(),
+	}.Emit(m.rec, m.eng.Now())
 	if m.lossTap != nil {
 		m.lossTap(f, r)
 	}

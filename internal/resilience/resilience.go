@@ -77,7 +77,7 @@ var _ obs.Recorder = (*Tracker)(nil)
 // Record implements obs.Recorder.
 func (t *Tracker) Record(at sim.Time, e obs.Event) {
 	switch ev := e.(type) {
-	case obs.Fault:
+	case *obs.Fault:
 		if !paired(ev.Kind) {
 			return
 		}
@@ -104,21 +104,21 @@ func (t *Tracker) Record(at sim.Time, e obs.Event) {
 				t.degraded += at.Sub(t.degradedStart)
 			}
 		}
-	case obs.Delivery:
+	case *obs.Delivery:
 		if t.activeCount > 0 {
 			t.degradedDeliv++
 		} else {
 			t.cleanDeliv++
 		}
 		t.progress(ev.Node, at)
-	case obs.Contention:
+	case *obs.Contention:
 		// A won round (sender) or an issued grant (receiver) is the
 		// node demonstrably negotiating again — the recovery signal for
 		// nodes that are relays rather than destinations.
 		if ev.Outcome == obs.ContentionWon || ev.Outcome == obs.ContentionGrant {
 			t.progress(ev.Node, at)
 		}
-	case obs.Recovery:
+	case *obs.Recovery:
 		switch ev.Action {
 		case obs.RecoverySuspect:
 			t.suspects++

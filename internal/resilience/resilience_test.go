@@ -18,12 +18,12 @@ func at(d time.Duration) sim.Time { return sim.At(d) }
 func TestTrackerEpisodes(t *testing.T) {
 	tr := NewTracker()
 
-	tr.Record(at(5*time.Second), obs.Delivery{Node: 3})                                      // clean
-	tr.Record(at(10*time.Second), obs.Fault{Node: 3, Kind: "churn", Action: obs.FaultInject})
-	tr.Record(at(15*time.Second), obs.Delivery{Node: 2})                                     // degraded
-	tr.Record(at(20*time.Second), obs.Fault{Node: 3, Kind: "churn", Action: obs.FaultClear})
-	tr.Record(at(25*time.Second), obs.Delivery{Node: 3})                                     // recovery signal
-	tr.Record(at(30*time.Second), obs.Delivery{Node: 3})                                     // clean
+	tr.Record(at(5*time.Second), &obs.Delivery{Node: 3}) // clean
+	tr.Record(at(10*time.Second), &obs.Fault{Node: 3, Kind: "churn", Action: obs.FaultInject})
+	tr.Record(at(15*time.Second), &obs.Delivery{Node: 2}) // degraded
+	tr.Record(at(20*time.Second), &obs.Fault{Node: 3, Kind: "churn", Action: obs.FaultClear})
+	tr.Record(at(25*time.Second), &obs.Delivery{Node: 3}) // recovery signal
+	tr.Record(at(30*time.Second), &obs.Delivery{Node: 3}) // clean
 
 	st := tr.Summary(at(60*time.Second), 2)
 	if st.Episodes != 1 || st.Recovered != 1 || st.Unrecovered != 0 {
@@ -53,13 +53,13 @@ func TestTrackerEpisodes(t *testing.T) {
 // and that a node with no progress stays unrecovered.
 func TestTrackerContentionProgress(t *testing.T) {
 	tr := NewTracker()
-	tr.Record(at(10*time.Second), obs.Fault{Node: 1, Kind: "outage", Action: obs.FaultInject})
-	tr.Record(at(12*time.Second), obs.Fault{Node: 2, Kind: "outage", Action: obs.FaultInject})
-	tr.Record(at(20*time.Second), obs.Fault{Node: 1, Kind: "outage", Action: obs.FaultClear})
-	tr.Record(at(22*time.Second), obs.Fault{Node: 2, Kind: "outage", Action: obs.FaultClear})
+	tr.Record(at(10*time.Second), &obs.Fault{Node: 1, Kind: "outage", Action: obs.FaultInject})
+	tr.Record(at(12*time.Second), &obs.Fault{Node: 2, Kind: "outage", Action: obs.FaultInject})
+	tr.Record(at(20*time.Second), &obs.Fault{Node: 1, Kind: "outage", Action: obs.FaultClear})
+	tr.Record(at(22*time.Second), &obs.Fault{Node: 2, Kind: "outage", Action: obs.FaultClear})
 	// Node 1 wins a round 3s after its clear; node 2 only loses rounds.
-	tr.Record(at(23*time.Second), obs.Contention{Node: 1, Outcome: obs.ContentionWon})
-	tr.Record(at(24*time.Second), obs.Contention{Node: 2, Outcome: "lost"})
+	tr.Record(at(23*time.Second), &obs.Contention{Node: 1, Outcome: obs.ContentionWon})
+	tr.Record(at(24*time.Second), &obs.Contention{Node: 2, Outcome: "lost"})
 
 	st := tr.Summary(at(30*time.Second), 0)
 	if st.Episodes != 2 || st.Recovered != 1 || st.Unrecovered != 1 {
@@ -75,10 +75,10 @@ func TestTrackerContentionProgress(t *testing.T) {
 // degraded window spanning first inject to last clear.
 func TestTrackerOverlappingWindows(t *testing.T) {
 	tr := NewTracker()
-	tr.Record(at(10*time.Second), obs.Fault{Node: 1, Kind: "churn", Action: obs.FaultInject})
-	tr.Record(at(15*time.Second), obs.Fault{Node: 2, Kind: "outage", Action: obs.FaultInject})
-	tr.Record(at(20*time.Second), obs.Fault{Node: 1, Kind: "churn", Action: obs.FaultClear})
-	tr.Record(at(30*time.Second), obs.Fault{Node: 2, Kind: "outage", Action: obs.FaultClear})
+	tr.Record(at(10*time.Second), &obs.Fault{Node: 1, Kind: "churn", Action: obs.FaultInject})
+	tr.Record(at(15*time.Second), &obs.Fault{Node: 2, Kind: "outage", Action: obs.FaultInject})
+	tr.Record(at(20*time.Second), &obs.Fault{Node: 1, Kind: "churn", Action: obs.FaultClear})
+	tr.Record(at(30*time.Second), &obs.Fault{Node: 2, Kind: "outage", Action: obs.FaultClear})
 	st := tr.Summary(at(60*time.Second), 0)
 	if st.DegradedS != 20 {
 		t.Fatalf("degraded=%v, want 20 (one merged window)", st.DegradedS)
@@ -93,8 +93,8 @@ func TestTrackerOverlappingWindows(t *testing.T) {
 // leak unrecovered episodes.
 func TestTrackerUnpairedKindsIgnored(t *testing.T) {
 	tr := NewTracker()
-	tr.Record(at(10*time.Second), obs.Fault{Node: 1, Kind: "delay-shift", Action: obs.FaultInject})
-	tr.Record(at(12*time.Second), obs.Fault{Node: 2, Kind: "interference", Action: obs.FaultInject})
+	tr.Record(at(10*time.Second), &obs.Fault{Node: 1, Kind: "delay-shift", Action: obs.FaultInject})
+	tr.Record(at(12*time.Second), &obs.Fault{Node: 2, Kind: "interference", Action: obs.FaultInject})
 	st := tr.Summary(at(60*time.Second), 0)
 	if st.Episodes != 0 || st.Unrecovered != 0 || st.DegradedS != 0 {
 		t.Fatalf("unpaired kinds leaked: %+v", st)
@@ -105,7 +105,7 @@ func TestTrackerUnpairedKindsIgnored(t *testing.T) {
 // degrades the remainder of the run and counts no episode.
 func TestTrackerOpenWindowExtendsToEnd(t *testing.T) {
 	tr := NewTracker()
-	tr.Record(at(40*time.Second), obs.Fault{Node: 1, Kind: "outage", Action: obs.FaultInject})
+	tr.Record(at(40*time.Second), &obs.Fault{Node: 1, Kind: "outage", Action: obs.FaultInject})
 	st := tr.Summary(at(60*time.Second), 0)
 	if st.DegradedS != 20 || st.CleanS != 40 {
 		t.Fatalf("degraded=%v clean=%v, want 20/40", st.DegradedS, st.CleanS)
@@ -118,11 +118,11 @@ func TestTrackerOpenWindowExtendsToEnd(t *testing.T) {
 // TestTrackerRecoveryCounters tallies the four recovery actions.
 func TestTrackerRecoveryCounters(t *testing.T) {
 	tr := NewTracker()
-	tr.Record(at(time.Second), obs.Recovery{Node: 1, Peer: 2, Action: obs.RecoverySuspect})
-	tr.Record(at(2*time.Second), obs.Recovery{Node: 1, Peer: 2, Action: obs.RecoveryDead})
-	tr.Record(at(3*time.Second), obs.Recovery{Node: 1, Peer: 2, Action: obs.RecoveryResurrect})
-	tr.Record(at(4*time.Second), obs.Recovery{Node: 1, Action: obs.RecoveryWatchdog})
-	tr.Record(at(5*time.Second), obs.Recovery{Node: 1, Action: obs.RecoverySuspect})
+	tr.Record(at(time.Second), &obs.Recovery{Node: 1, Peer: 2, Action: obs.RecoverySuspect})
+	tr.Record(at(2*time.Second), &obs.Recovery{Node: 1, Peer: 2, Action: obs.RecoveryDead})
+	tr.Record(at(3*time.Second), &obs.Recovery{Node: 1, Peer: 2, Action: obs.RecoveryResurrect})
+	tr.Record(at(4*time.Second), &obs.Recovery{Node: 1, Action: obs.RecoveryWatchdog})
+	tr.Record(at(5*time.Second), &obs.Recovery{Node: 1, Action: obs.RecoverySuspect})
 	st := tr.Summary(at(10*time.Second), 0)
 	if st.SuspectMarks != 2 || st.DeadMarks != 1 || st.Resurrections != 1 || st.WatchdogResets != 1 {
 		t.Fatalf("recovery counters %+v, want suspects=2 deads=1 resurrections=1 watchdogs=1", st)
@@ -135,12 +135,12 @@ func TestTrackerDegradedRatio(t *testing.T) {
 	tr := NewTracker()
 	// Clean: 0..30s with 6 deliveries (rate 0.2/s).
 	for i := 0; i < 6; i++ {
-		tr.Record(at(time.Duration(i+1)*time.Second), obs.Delivery{Node: 1})
+		tr.Record(at(time.Duration(i+1)*time.Second), &obs.Delivery{Node: 1})
 	}
-	tr.Record(at(30*time.Second), obs.Fault{Node: 1, Kind: "outage", Action: obs.FaultInject})
+	tr.Record(at(30*time.Second), &obs.Fault{Node: 1, Kind: "outage", Action: obs.FaultInject})
 	// Degraded: 30..60s with 3 deliveries (rate 0.1/s).
 	for i := 0; i < 3; i++ {
-		tr.Record(at(time.Duration(35+i)*time.Second), obs.Delivery{Node: 2})
+		tr.Record(at(time.Duration(35+i)*time.Second), &obs.Delivery{Node: 2})
 	}
 	st := tr.Summary(at(60*time.Second), 0)
 	if math.Abs(st.DegradedDeliveryRatio-0.5) > 1e-9 {
