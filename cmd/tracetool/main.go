@@ -7,6 +7,7 @@
 //	tracetool slots -in run.slots
 //	tracetool slots -in run.slots -ratio        # bare exploitation ratio
 //	tracetool events -in run.jsonl -event mac.deliver -node 3
+//	tracetool drops -in run.jsonl -top 5
 //	tracetool diff a.spans b.spans
 //
 // Every subcommand streams its input line by line, so multi-gigabyte
@@ -41,6 +42,7 @@ commands:
   latency  latency percentiles and histogram over delivering spans
   slots    waiting-resource slot profile table (-ratio: bare run ratio)
   events   filter the trace-v2 event stream (-event, -node)
+  drops    per-reason and per-node drop/shed counts (-top N noisiest nodes)
   diff     compare two span files' aggregate counts
 
 run "tracetool <command> -h" for the command's flags`)
@@ -61,6 +63,8 @@ func run(args []string) int {
 		err = cmdSlots(args[1:])
 	case "events":
 		err = cmdEvents(args[1:])
+	case "drops":
+		err = cmdDrops(args[1:])
 	case "diff":
 		err = cmdDiff(args[1:])
 	default:
@@ -382,6 +386,102 @@ func cmdEvents(args []string) error {
 		fmt.Printf("  %s=%d", t, byTag[t])
 	}
 	fmt.Println()
+	return nil
+}
+
+// cmdDrops reduces the trace-v2 stream's mac.drop events to a
+// per-reason table and the noisiest dropping nodes — the quick answer
+// to "where is an overloaded run losing traffic".
+func cmdDrops(args []string) error {
+	fs := flag.NewFlagSet("drops", flag.ExitOnError)
+	in := fs.String("in", "", "trace-v2 JSONL file (required)")
+	top := fs.Int("top", 10, "show the N nodes with the most drops (0 = all)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("drops: -in is required")
+	}
+
+	type nodeAgg struct {
+		node     int
+		total    int
+		byReason map[string]int
+	}
+	byReason := map[string]int{}
+	byNode := map[int]*nodeAgg{}
+	total := 0
+	err := scanLines(*in, func(_ int, line []byte) error {
+		var m struct {
+			Event  string `json:"event"`
+			Node   int    `json:"node"`
+			Reason string `json:"reason"`
+		}
+		if err := json.Unmarshal(line, &m); err != nil {
+			return err
+		}
+		if m.Event != "mac.drop" {
+			return nil
+		}
+		total++
+		byReason[m.Reason]++
+		a := byNode[m.Node]
+		if a == nil {
+			a = &nodeAgg{node: m.Node, byReason: map[string]int{}}
+			byNode[m.Node] = a
+		}
+		a.total++
+		a.byReason[m.Reason]++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		fmt.Println("no mac.drop events")
+		return nil
+	}
+
+	reasons := make([]string, 0, len(byReason))
+	for r := range byReason {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool {
+		if byReason[reasons[i]] != byReason[reasons[j]] {
+			return byReason[reasons[i]] > byReason[reasons[j]]
+		}
+		return reasons[i] < reasons[j]
+	})
+	fmt.Printf("%d drop(s) across %d node(s)\n", total, len(byNode))
+	for _, r := range reasons {
+		fmt.Printf("  %-18s %6d\n", r, byReason[r])
+	}
+
+	nodes := make([]*nodeAgg, 0, len(byNode))
+	for _, a := range byNode {
+		nodes = append(nodes, a)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].total != nodes[j].total {
+			return nodes[i].total > nodes[j].total
+		}
+		return nodes[i].node < nodes[j].node
+	})
+	shown := len(nodes)
+	if *top > 0 && shown > *top {
+		shown = *top
+	}
+	fmt.Printf("%6s %7s  breakdown\n", "node", "drops")
+	for _, a := range nodes[:shown] {
+		parts := make([]string, 0, len(a.byReason))
+		for _, r := range reasons {
+			if n := a.byReason[r]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", r, n))
+			}
+		}
+		fmt.Printf("%6d %7d  %s\n", a.node, a.total, strings.Join(parts, " "))
+	}
+	if shown < len(nodes) {
+		fmt.Printf("# (%d more node(s) suppressed by -top)\n", len(nodes)-shown)
+	}
 	return nil
 }
 

@@ -11,6 +11,8 @@
 //	uansim -proto ewmac -report run.prom     # same, Prometheus text
 //	uansim -proto ewmac -http :8080          # live /metrics, /progress, pprof
 //	uansim -proto ewmac -faults chaos.json   # fault-injection scenario
+//	uansim -proto ewmac -load 4 -policy deadline -ttl 30s -admission 0.9 \
+//	       -retry-burst 8 -v                  # graceful overload management
 //	uansim -proto ewmac -adversary -adv-trials 8 -adv-out repro.json
 //	                                         # adversarial fault-scenario search
 //	uansim -deadline 5m -max-events 100e6    # budget + livelock watchdog
@@ -64,6 +66,14 @@ func run() int {
 		seed    = flag.Int64("seed", 1, "random seed")
 		verbose = flag.Bool("v", false, "print extended counters")
 
+		policy     = flag.String("policy", "", "queue drop policy: tail (default), oldest, or deadline")
+		ttl        = flag.Duration("ttl", 0, "per-packet deadline for -policy deadline (0 = none)")
+		admission  = flag.Float64("admission", 0, "admission-control high-water mark as a queue fraction in (0,1] (0 = off)")
+		retryBurst = flag.Int("retry-burst", 0, "retry-budget token-bucket burst (0 = unbudgeted)")
+		retryRate  = flag.Float64("retry-rate", 0, "retry-budget refill rate in tokens/s (0 = default with -retry-burst)")
+		closedLoop = flag.Bool("closed-loop", false, "withhold arrivals at the source while the MAC reports backpressure (needs -admission)")
+		prioEvery  = flag.Int("priority-every", 0, "mark every Nth generated packet high-priority (0 = never)")
+
 		faults     = flag.String("faults", "", "fault-injection scenario JSON file (see examples/faults/)")
 		trace      = flag.String("trace", "", "write the trace-v2 JSONL event stream to this file (single protocol only)")
 		spans      = flag.String("spans", "", "write the causal-span JSONL stream to this file (single protocol only)")
@@ -75,7 +85,7 @@ func run() int {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 
-		adversary = flag.Bool("adversary", false, "run the adversarial fault-scenario search instead of a normal run (single protocol only)")
+		adversary   = flag.Bool("adversary", false, "run the adversarial fault-scenario search instead of a normal run (single protocol only)")
 		advTrials   = flag.Int("adv-trials", 16, "adversarial search: number of random scenarios to try")
 		advOut      = flag.String("adv-out", "adversary.json", "adversarial search: write the minimized scenario JSON here")
 		advCollapse = flag.Float64("adv-collapse", 0.25, "adversarial search: delivery-collapse threshold as a fraction of the fault-free baseline")
@@ -101,6 +111,24 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
 			return 1
 		}
+	}
+
+	var overload ewmac.OverloadConfig
+	if *policy != "" {
+		p, err := ewmac.ParseDropPolicy(*policy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
+			return 2
+		}
+		overload.Policy = p
+	}
+	overload.PacketTTL = *ttl
+	overload.HighWater = *admission
+	overload.RetryBudget = ewmac.RetryBudgetConfig{Burst: *retryBurst, RatePerSec: *retryRate}
+	overload.Priority = *prioEvery > 0
+	if *closedLoop && *admission <= 0 {
+		fmt.Fprintln(os.Stderr, "uansim: -closed-loop needs -admission to produce a backpressure signal")
+		return 2
 	}
 
 	if *adversary {
@@ -181,6 +209,9 @@ func run() int {
 		cfg.SimTime = *simTime
 		cfg.Seed = *seed
 		cfg.Faults = scenario
+		cfg.Overload = overload
+		cfg.ClosedLoop = *closedLoop
+		cfg.PriorityEvery = *prioEvery
 
 		// The run executes under the supervisor: panics surface as a
 		// quarantined record with a stack, budget aborts retry with a
@@ -283,17 +314,27 @@ func run() int {
 				s.MAC.AckedPackets, s.MAC.RTSSent, s.MAC.CTSSent, s.MAC.Retransmissions)
 			fmt.Printf("  extra: attempts=%d grants=%d completions=%d\n",
 				s.MAC.ExtraAttempts, s.MAC.ExtraGrants, s.MAC.ExtraCompletions)
-			if scenario != nil {
-				fmt.Printf("  robustness: dropped=%d (retry=%d dead-peer=%d) probes=%d impossible-rx=%d\n",
+			if scenario != nil || s.MAC.Dropped > 0 || s.MAC.RetryDeferrals > 0 {
+				fmt.Printf("  robustness: dropped=%d (retry=%d dead-peer=%d queue-full=%d oldest=%d expired=%d shed=%d) retry-deferrals=%d probes=%d impossible-rx=%d\n",
 					s.MAC.Dropped, s.MAC.DroppedRetry, s.MAC.DroppedDeadPeer,
-					s.MAC.Probes, s.MAC.ImpossibleRx)
+					s.MAC.DroppedQueueFull, s.MAC.DroppedOldest,
+					s.MAC.DroppedExpired, s.MAC.DroppedShed,
+					s.MAC.RetryDeferrals, s.MAC.Probes, s.MAC.ImpossibleRx)
+			}
+			if scenario != nil {
 				fmt.Printf("  recovery: suspects=%d deads=%d resurrections=%d watchdog-resets=%d\n",
 					s.MAC.SuspectMarks, s.MAC.DeadMarks, s.MAC.Resurrections, s.MAC.WatchdogResets)
-				if res != nil && res.Resilience != nil {
-					r := res.Resilience
+			}
+			if res != nil && res.Resilience != nil {
+				r := res.Resilience
+				if scenario != nil {
 					fmt.Printf("  resilience: episodes=%d recovered=%d meanTTR=%.1fs degraded=%.1fs (delivery ratio %.2f) stranded=%d\n",
 						r.Episodes, r.Recovered, r.MeanTimeToRecoverS, r.DegradedS,
 						r.DegradedDeliveryRatio, r.StrandedPackets)
+				}
+				if r.OverloadEpisodes > 0 || r.ShedPackets > 0 || r.RetryDeferrals > 0 {
+					fmt.Printf("  overload: episodes=%d shedding=%.1fs shed-packets=%d retry-deferrals=%d\n",
+						r.OverloadEpisodes, r.OverloadS, r.ShedPackets, r.RetryDeferrals)
 				}
 			}
 			if res != nil {

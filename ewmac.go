@@ -31,6 +31,7 @@ import (
 
 	"ewmac/internal/experiment"
 	"ewmac/internal/figures"
+	"ewmac/internal/mac"
 	"ewmac/internal/metrics"
 	"ewmac/internal/obs"
 	"ewmac/internal/sim"
@@ -49,6 +50,9 @@ const (
 	ROPA = experiment.ProtocolROPA
 	// CSMAC is the Channel Stealing MAC.
 	CSMAC = experiment.ProtocolCSMAC
+	// SALOHA is slotted ALOHA, an extension baseline outside the
+	// paper's evaluation.
+	SALOHA = experiment.ProtocolSALOHA
 )
 
 // Protocols lists all four in the paper's presentation order.
@@ -80,6 +84,33 @@ type Instrumentation = experiment.Instrumentation
 // RunReport is the per-run observability summary attached to
 // Result.Report when Observe.Report is enabled.
 type RunReport = obs.RunReport
+
+// OverloadConfig configures graceful degradation under saturation:
+// queue drop policies, two-class priority, admission control, and
+// retry budgets. Set Config.Overload; the zero value keeps the
+// historical tail-drop behaviour bit-identically.
+type OverloadConfig = mac.OverloadConfig
+
+// RetryBudgetConfig is the token-bucket retry budget inside
+// OverloadConfig.
+type RetryBudgetConfig = mac.RetryBudgetConfig
+
+// DropPolicy selects what a full MAC queue sheds.
+type DropPolicy = mac.DropPolicy
+
+// The queue drop policies.
+const (
+	// DropTail rejects the incoming packet (the historical default).
+	DropTail = mac.DropTail
+	// DropOldest evicts the oldest queued packet to admit the new one.
+	DropOldest = mac.DropOldest
+	// DropDeadline lazily expires packets past their TTL deadline.
+	DropDeadline = mac.DropDeadline
+)
+
+// ParseDropPolicy parses a drop-policy name ("tail", "oldest",
+// "deadline") as used by command-line flags.
+func ParseDropPolicy(s string) (DropPolicy, error) { return mac.ParseDropPolicy(s) }
 
 // Summary carries the paper's evaluation metrics for one run
 // (Equations (2)–(4)).

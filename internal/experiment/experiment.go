@@ -127,6 +127,19 @@ type Config struct {
 	// keeping fault-free runs bit-identical; a non-nil value is used
 	// as-is (tests use it to force the layer on or off).
 	Recovery *mac.RecoveryConfig
+	// Overload configures queue drop policies, admission control, and
+	// retry budgets on every MAC. The zero value keeps the historical
+	// tail-drop/unbudgeted behaviour bit-identically.
+	Overload mac.OverloadConfig
+	// ClosedLoop turns the traffic generators closed-loop: arrivals are
+	// withheld at the source while the destination MAC reports
+	// backpressure (requires Overload.HighWater). The Poisson schedule
+	// is untouched, so RNG streams are identical either way. Off by
+	// default.
+	ClosedLoop bool
+	// PriorityEvery marks every Nth generated packet high-priority
+	// (0 = never). Only meaningful with Overload.Priority.
+	PriorityEvery int
 	// Budget bounds the run: wall-clock deadline, executed-event cap,
 	// and the livelock watchdog window (sim time frozen across that
 	// many events aborts the run). The zero Budget runs unbounded and
@@ -231,6 +244,12 @@ func (c Config) Validate() error {
 	default:
 		bad("unknown protocol %q", c.Protocol)
 	}
+	if c.PriorityEvery < 0 {
+		bad("priority every %d", c.PriorityEvery)
+	}
+	if err := c.Overload.Validate(c.QueueMax); err != nil {
+		errs = append(errs, err)
+	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
 			errs = append(errs, err)
@@ -305,11 +324,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// The resilience tracker joins the recorder fan-out on fault-
-	// injected runs so it sees the same event stream as every other
-	// consumer (this also means faulty runs always carry a recorder).
+	// injected and overload-managed runs so it sees the same event
+	// stream as every other consumer (this also means such runs always
+	// carry a recorder).
 	var tracker *resilience.Tracker
 	var trackerRec obs.Recorder
-	if cfg.Faults.Active() {
+	if cfg.Faults.Active() || cfg.Overload.Armed() {
 		tracker = resilience.NewTracker()
 		trackerRec = tracker
 	}
@@ -362,6 +382,7 @@ func Run(cfg Config) (*Result, error) {
 			EnableHello: true,
 			HelloWindow: cfg.Warmup,
 			Recorder:    ro.rec,
+			Overload:    cfg.Overload,
 		}
 		if inj != nil {
 			mcfg.EnableProbe = true
@@ -412,16 +433,23 @@ func Run(cfg Config) (*Result, error) {
 			if n.Sink {
 				continue
 			}
-			gen, err := traffic.NewGenerator(traffic.Config{
-				Node:    n.ID,
-				Engine:  eng,
-				Sink:    protos[i],
-				Route:   route,
-				RatePPS: rate,
-				Bits:    cfg.DataBits,
-				Start:   warmupAt,
-				Stop:    endAt,
-			})
+			tc := traffic.Config{
+				Node:      n.ID,
+				Engine:    eng,
+				Sink:      protos[i],
+				Route:     route,
+				RatePPS:   rate,
+				Bits:      cfg.DataBits,
+				Start:     warmupAt,
+				Stop:      endAt,
+				HighEvery: cfg.PriorityEvery,
+			}
+			if cfg.ClosedLoop {
+				if bp, ok := protos[i].(interface{ Backpressure() bool }); ok {
+					tc.Backpressure = bp.Backpressure
+				}
+			}
+			gen, err := traffic.NewGenerator(tc)
 			if err != nil {
 				return nil, err
 			}

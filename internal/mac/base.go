@@ -129,6 +129,10 @@ type Config struct {
 	// Recovery arms per-peer liveness tracking and the stuck-state
 	// watchdog; disabled by default (see RecoveryConfig).
 	Recovery RecoveryConfig
+	// Overload configures queue drop policies, admission control, and
+	// retry budgets; the zero value disables all of them and keeps the
+	// pre-overload behaviour bit-identical (see OverloadConfig).
+	Overload OverloadConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -153,6 +157,7 @@ func (c *Config) applyDefaults() {
 	if c.Recovery.Enabled {
 		c.Recovery.applyDefaults()
 	}
+	c.Overload.applyDefaults()
 }
 
 // Validate reports the first invalid field.
@@ -166,6 +171,9 @@ func (c Config) Validate() error {
 		return errors.New("mac: nil modem")
 	case c.BitRate <= 0:
 		return fmt.Errorf("mac: bit rate %v", c.BitRate)
+	}
+	if err := c.Overload.Validate(c.QueueMax); err != nil {
+		return err
 	}
 	return c.Slots.Validate()
 }
@@ -221,6 +229,10 @@ type Base struct {
 	peerFails map[packet.NodeID]int
 	peerState map[packet.NodeID]PeerState
 	roleSlot  int64
+	// Overload-protection state (see overload.go): the hysteresis
+	// admission gate and the per-node retry token bucket.
+	gate   AdmissionGate
+	bucket RetryBucket
 
 	counters Counters
 	started  bool
@@ -234,20 +246,25 @@ func NewBase(cfg Config) (*Base, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
-	return &Base{
+	b := &Base{
 		cfg:       cfg,
 		rng:       cfg.Engine.RNG(fmt.Sprintf("mac/%d", cfg.ID)),
 		table:     NewNeighborTable(cfg.TableTTL),
 		ledger:    NewLedger(cfg.Slots),
-		queue:     Queue{MaxLen: cfg.QueueMax},
 		role:      RoleIdle,
 		rtsCands:  make(map[int64][]*packet.Frame),
 		seen:      make(map[uint64]struct{}),
 		lastProbe: make(map[packet.NodeID]sim.Time),
 		peerFails: make(map[packet.NodeID]int),
 		peerState: make(map[packet.NodeID]PeerState),
+		gate:      NewAdmissionGate(cfg),
+		bucket:    NewRetryBucket(cfg),
 		cw:        cfg.CWMin,
-	}, nil
+	}
+	b.queue = NewQueue(cfg,
+		func() time.Duration { return cfg.Engine.Now().Duration() },
+		b.dropPacket, b.queueEvent)
+	return b, nil
 }
 
 // SetHooks installs the protocol behaviour. Must precede Start.
@@ -454,6 +471,7 @@ func (b *Base) replyProbe(peer packet.NodeID) {
 // metrics plane, not the MAC's volatile state.
 func (b *Base) Restart() {
 	b.setRole(RoleIdle)
+	b.queue.UnlockHead()
 	b.hasCur = false
 	b.curAttempts = 0
 	b.backoffLeft = 0
@@ -527,17 +545,77 @@ func (b *Base) Enqueue(p AppPacket) {
 		b.seq++
 		p.Seq = b.seq
 	}
+	// Every offered packet counts as generated — it is real demand —
+	// whether it queues or is refused with a typed drop below.
+	b.counters.Generated++
 	if b.cfg.Recovery.Enabled && b.peerState[p.Dst] == PeerDead {
-		// Offered load toward a dead next hop still counts as generated
-		// — it is real demand the network failed — but is dropped with
-		// a typed reason instead of queueing up behind a corpse.
-		b.counters.Generated++
+		// Never queue up behind a corpse.
 		b.dropPacket(p, obs.DropDeadPeer)
 		return
 	}
-	if b.queue.Push(p) {
-		b.counters.Generated++
+	if ttl := b.cfg.Overload.PacketTTL; ttl > 0 && p.Deadline == 0 {
+		p.Deadline = p.GeneratedAt + ttl
 	}
+	if b.gate.Enabled() && !(b.cfg.Overload.Priority && p.High) {
+		closed, changed := b.gate.Update(b.queue.Len())
+		if changed {
+			if closed {
+				b.emitOverload(obs.OverloadShedBegin)
+			} else {
+				b.emitOverload(obs.OverloadShedEnd)
+			}
+		}
+		if closed {
+			b.dropPacket(p, obs.DropShed)
+			return
+		}
+	}
+	if !b.queue.Push(p) {
+		b.dropPacket(p, obs.DropQueueFull)
+	}
+}
+
+// Backpressure reports whether the admission gate is currently closed,
+// re-evaluated against live occupancy. Closed-loop traffic generators
+// consult it to throttle offered load at the source; always false when
+// admission control is not configured.
+func (b *Base) Backpressure() bool {
+	if !b.gate.Enabled() {
+		return false
+	}
+	closed, changed := b.gate.Update(b.queue.Len())
+	if changed {
+		if closed {
+			b.emitOverload(obs.OverloadShedBegin)
+		} else {
+			b.emitOverload(obs.OverloadShedEnd)
+		}
+	}
+	return closed
+}
+
+// emitOverload records one overload-protection lifecycle step.
+func (b *Base) emitOverload(action string) {
+	if r := b.cfg.Recorder; r != nil {
+		obs.Overload{Node: b.cfg.ID, Action: action, Len: b.queue.Len()}.Emit(r, b.cfg.Engine.Now())
+	}
+}
+
+// queueEvent observes transmit-queue occupancy changes (the Queue's
+// OnEvent hook): depth after each push/pop, plus the serviced packet's
+// generation→dequeue sojourn on pop.
+func (b *Base) queueEvent(pushed bool, p AppPacket) {
+	r := b.cfg.Recorder
+	if r == nil {
+		return
+	}
+	now := b.cfg.Engine.Now()
+	ev := obs.QueueDepth{Node: b.cfg.ID, Len: b.queue.Len(), Op: obs.QueuePush}
+	if !pushed {
+		ev.Op = obs.QueuePop
+		ev.Sojourn = now.Duration() - p.GeneratedAt
+	}
+	ev.Emit(r, now)
 }
 
 // ---- Slot engine ----
@@ -659,6 +737,15 @@ func (b *Base) maybeContend(s int64) {
 		b.headSince = s
 		return
 	}
+	if b.curAttempts > 0 &&
+		(b.cfg.Overload.Priority || b.cfg.Overload.Policy == DropDeadline) &&
+		(head.Origin != b.cur.Origin || head.Seq != b.cur.Seq) {
+		// The backlog was reshuffled between failed rounds (a priority
+		// insert or a deadline eviction changed the head): the failure
+		// history belongs to the old head, not this packet.
+		b.curAttempts = 0
+		b.headSince = s
+	}
 	if b.ledger.QuietUntilSlot() > s {
 		// The channel is reserved: freeze the backoff counter (802.11
 		// semantics). Counting down only in free slots desynchronizes
@@ -672,6 +759,15 @@ func (b *Base) maybeContend(s int64) {
 	}
 	if b.backoffLeft > 0 {
 		b.backoffLeft--
+		return
+	}
+	if b.curAttempts > 0 && !b.bucket.Allow(s) {
+		// A retry with an empty retry budget: defer to a later slot
+		// (the lazy refill will eventually allow it) instead of adding
+		// this node to a fleet-wide retry storm. First attempts are
+		// never gated.
+		b.counters.RetryDeferrals++
+		b.emitOverload(obs.OverloadRetryDefer)
 		return
 	}
 	now := b.cfg.Engine.Now()
@@ -694,6 +790,9 @@ func (b *Base) maybeContend(s int64) {
 		obs.SlotPeriod{Node: b.cfg.ID, Peer: head.Dst, Period: "I", Slot: s}.Emit(b.recNow())
 	}
 	b.setRole(RoleWaitCTS)
+	// The head is now in flight: pin it against every shedding scan
+	// until the round resolves.
+	b.queue.LockHead()
 	b.cur = head
 	b.hasCur = true
 	b.rtsSlot = s
@@ -787,6 +886,9 @@ func (b *Base) DeliverData(f *packet.Frame, extra bool) { b.deliverData(f, extra
 // queue head and backing off.
 func (b *Base) failRound(s int64) {
 	b.setRole(RoleIdle)
+	// The round is over: the head is no longer in flight and shedding
+	// policies may touch it again.
+	b.queue.UnlockHead()
 	b.curAttempts++
 	if b.hasCur && b.noteHandshakeFailure(b.cur.Dst) {
 		// This failure just killed the peer; the head (and everything

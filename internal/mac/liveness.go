@@ -172,15 +172,10 @@ func (b *Base) purgeDeadTraffic(peer packet.NodeID) int {
 }
 
 // dropPacket accounts one abandoned packet under the given typed
-// reason.
+// reason. It doubles as the Queue's OnDrop hook, so policy evictions
+// (expiry, drop-oldest, priority displacement) land here too.
 func (b *Base) dropPacket(p AppPacket, reason string) {
-	b.counters.Dropped++
-	switch reason {
-	case obs.DropRetryExhausted:
-		b.counters.DroppedRetry++
-	case obs.DropDeadPeer:
-		b.counters.DroppedDeadPeer++
-	}
+	b.counters.CountDrop(reason)
 	if b.Observing() {
 		obs.PacketDrop{
 			Node: b.cfg.ID, Peer: p.Dst, Reason: reason,

@@ -14,6 +14,7 @@ package saloha
 
 import (
 	"fmt"
+	"time"
 
 	"ewmac/internal/mac"
 	"ewmac/internal/obs"
@@ -33,6 +34,7 @@ type MAC struct {
 	waitingAck  bool
 	ackDeadline int64
 	sentSeq     uint32
+	sentOrigin  packet.NodeID
 	// xidSeq allocates exchange-lineage IDs; sentXID is the lineage of
 	// the data transmission currently awaiting its Ack.
 	xidSeq      uint64
@@ -48,9 +50,13 @@ type MAC struct {
 	peerFails map[packet.NodeID]int
 	peerState map[packet.NodeID]mac.PeerState
 	waitSlot  int64
-	counters  mac.Counters
-	started   bool
-	nextSlot  int64
+	// Overload-protection state, mirroring mac.Base: the hysteresis
+	// admission gate and the per-node retry token bucket.
+	gate     mac.AdmissionGate
+	bucket   mac.RetryBucket
+	counters mac.Counters
+	started  bool
+	nextSlot int64
 }
 
 var _ mac.Protocol = (*MAC)(nil)
@@ -69,15 +75,23 @@ func New(cfg mac.Config) (*MAC, error) {
 	if cfg.Recovery.Enabled {
 		cfg.Recovery = cfg.Recovery.WithDefaults()
 	}
-	return &MAC{
+	cfg.Overload = cfg.Overload.WithDefaults()
+	m := &MAC{
 		cfg:       cfg,
 		rng:       cfg.Engine.RNG(fmt.Sprintf("saloha/%d", cfg.ID)),
-		queue:     mac.Queue{MaxLen: cfg.QueueMax},
 		cw:        cfg.CWMin,
 		seen:      make(map[uint64]struct{}),
 		peerFails: make(map[packet.NodeID]int),
 		peerState: make(map[packet.NodeID]mac.PeerState),
-	}, nil
+		gate:      mac.NewAdmissionGate(cfg),
+		bucket:    mac.NewRetryBucket(cfg),
+	}
+	// The queue comes from the shared constructor so drop-policy and
+	// bound wiring cannot drift from mac.Base.
+	m.queue = mac.NewQueue(cfg,
+		func() time.Duration { return cfg.Engine.Now().Duration() },
+		m.dropPacket, m.queueEvent)
+	return m, nil
 }
 
 // Name implements mac.Protocol.
@@ -98,16 +112,73 @@ func (m *MAC) Enqueue(p mac.AppPacket) {
 		m.seq++
 		p.Seq = m.seq
 	}
+	// Every offered packet counts as generated, whether it queues or is
+	// refused with a typed drop below (mirrors mac.Base).
+	m.counters.Generated++
 	if m.cfg.Recovery.Enabled && m.peerState[p.Dst] == mac.PeerDead {
-		// Real offered load toward a dead next hop: counted as
-		// generated, then dropped with a typed reason.
-		m.counters.Generated++
 		m.dropPacket(p, obs.DropDeadPeer)
 		return
 	}
-	if m.queue.Push(p) {
-		m.counters.Generated++
+	if ttl := m.cfg.Overload.PacketTTL; ttl > 0 && p.Deadline == 0 {
+		p.Deadline = p.GeneratedAt + ttl
 	}
+	if m.gate.Enabled() && !(m.cfg.Overload.Priority && p.High) {
+		closed, changed := m.gate.Update(m.queue.Len())
+		if changed {
+			if closed {
+				m.emitOverload(obs.OverloadShedBegin)
+			} else {
+				m.emitOverload(obs.OverloadShedEnd)
+			}
+		}
+		if closed {
+			m.dropPacket(p, obs.DropShed)
+			return
+		}
+	}
+	if !m.queue.Push(p) {
+		m.dropPacket(p, obs.DropQueueFull)
+	}
+}
+
+// Backpressure reports whether the admission gate is currently closed,
+// re-evaluated against live occupancy (mirrors mac.Base).
+func (m *MAC) Backpressure() bool {
+	if !m.gate.Enabled() {
+		return false
+	}
+	closed, changed := m.gate.Update(m.queue.Len())
+	if changed {
+		if closed {
+			m.emitOverload(obs.OverloadShedBegin)
+		} else {
+			m.emitOverload(obs.OverloadShedEnd)
+		}
+	}
+	return closed
+}
+
+// emitOverload records one overload-protection lifecycle step.
+func (m *MAC) emitOverload(action string) {
+	if m.cfg.Recorder != nil {
+		obs.Overload{Node: m.cfg.ID, Action: action, Len: m.queue.Len()}.Emit(m.recNow())
+	}
+}
+
+// queueEvent observes transmit-queue occupancy changes (the Queue's
+// OnEvent hook), mirroring mac.Base.
+func (m *MAC) queueEvent(pushed bool, p mac.AppPacket) {
+	r := m.cfg.Recorder
+	if r == nil {
+		return
+	}
+	now := m.cfg.Engine.Now()
+	ev := obs.QueueDepth{Node: m.cfg.ID, Len: m.queue.Len(), Op: obs.QueuePush}
+	if !pushed {
+		ev.Op = obs.QueuePop
+		ev.Sojourn = now.Duration() - p.GeneratedAt
+	}
+	ev.Emit(r, now)
 }
 
 // Start implements mac.Protocol.
@@ -157,6 +228,7 @@ func (m *MAC) localNow() sim.Time {
 // counters survive.
 func (m *MAC) Restart() {
 	m.setWaiting(false, m.cfg.Slots.SlotAt(m.cfg.Engine.Now()))
+	m.queue.UnlockHead()
 	m.backoffLeft = 0
 	m.cw = m.cfg.CWMin
 	m.attempts = 0
@@ -185,15 +257,10 @@ func (m *MAC) Stranded() int {
 }
 
 // dropPacket accounts one abandoned packet under the given typed
-// reason, mirroring mac.Base.
+// reason, mirroring mac.Base. It doubles as the Queue's OnDrop hook,
+// so policy evictions land here too.
 func (m *MAC) dropPacket(p mac.AppPacket, reason string) {
-	m.counters.Dropped++
-	switch reason {
-	case obs.DropRetryExhausted:
-		m.counters.DroppedRetry++
-	case obs.DropDeadPeer:
-		m.counters.DroppedDeadPeer++
-	}
+	m.counters.CountDrop(reason)
 	if m.cfg.Recorder != nil {
 		obs.PacketDrop{
 			Node: m.cfg.ID, Peer: p.Dst, Reason: reason,
@@ -344,6 +411,9 @@ func (m *MAC) onSlot(s int64) {
 					m.cw = m.cfg.CWMax
 				}
 			}
+			// The round is over: release the in-flight pin so shedding
+			// policies may touch the head again.
+			m.queue.UnlockHead()
 		}
 		return
 	}
@@ -361,11 +431,26 @@ func (m *MAC) onSlot(s int64) {
 		m.dropPacket(head, obs.DropDeadPeer)
 		return
 	}
+	if m.attempts > 0 &&
+		(m.cfg.Overload.Priority || m.cfg.Overload.Policy == mac.DropDeadline) &&
+		(head.Origin != m.sentOrigin || head.Seq != m.sentSeq) {
+		// The backlog was reshuffled between failed rounds: the failure
+		// history belongs to the old head, not this packet.
+		m.attempts = 0
+	}
 	if m.cfg.Modem.Transmitting() || m.cfg.Modem.Receiving() {
 		return
 	}
 	if m.backoffLeft > 0 {
 		m.backoffLeft--
+		return
+	}
+	if m.attempts > 0 && !m.bucket.Allow(s) {
+		// A retransmission with an empty retry budget: defer to a later
+		// slot instead of joining a fleet-wide retry storm. First
+		// attempts are never gated.
+		m.counters.RetryDeferrals++
+		m.emitOverload(obs.OverloadRetryDefer)
 		return
 	}
 	// Each transmission attempt is its own exchange: a retransmission
@@ -387,8 +472,12 @@ func (m *MAC) onSlot(s int64) {
 		return
 	}
 	m.setWaiting(true, s)
+	// The head is in flight until the Ack or the timeout: pin it
+	// against every shedding scan.
+	m.queue.LockHead()
 	m.waitSlot = s
 	m.sentSeq = head.Seq
+	m.sentOrigin = head.Origin
 	m.sentXID = f.XID
 	// The data may span several slots (Equation (5)); the Ack comes one
 	// slot after it fully arrives, worst case τmax away.

@@ -17,6 +17,7 @@ package mac
 import (
 	"time"
 
+	"ewmac/internal/obs"
 	"ewmac/internal/packet"
 	"ewmac/internal/phy"
 )
@@ -35,6 +36,15 @@ type AppPacket struct {
 	// GeneratedAt is the simulation time of payload creation (for
 	// latency accounting).
 	GeneratedAt time.Duration
+	// High marks the packet for the two-class priority scheme: queued
+	// ahead of normal traffic, exempt from admission shedding, never
+	// shed first. Inert unless OverloadConfig.Priority is set.
+	High bool
+	// Deadline is the absolute simulation instant after which delivery
+	// is worthless (0 = none). Enqueue stamps GeneratedAt + PacketTTL
+	// when the overload layer is configured with a TTL; the DropDeadline
+	// policy evicts packets past it.
+	Deadline time.Duration
 }
 
 // Protocol is the interface the node host drives. Implementations also
@@ -92,12 +102,21 @@ type Counters struct {
 	// MaintenanceBits counts dedicated neighbor-maintenance traffic
 	// (Hello and NbrUpdate frames), an overhead input.
 	MaintenanceBits uint64
-	// Dropped counts packets abandoned by the MAC for any reason;
-	// DroppedRetry and DroppedDeadPeer break it down by cause
-	// (MaxRetries exhaustion vs. dead-peer purge).
-	Dropped         uint64
-	DroppedRetry    uint64
-	DroppedDeadPeer uint64
+	// Dropped counts packets abandoned by the MAC for any reason; the
+	// Dropped* fields break it down by typed cause: MaxRetries
+	// exhaustion, dead-peer purge, queue overflow rejecting the
+	// newcomer, drop-oldest eviction, per-packet deadline expiry, and
+	// admission-control load shedding.
+	Dropped          uint64
+	DroppedRetry     uint64
+	DroppedDeadPeer  uint64
+	DroppedQueueFull uint64
+	DroppedOldest    uint64
+	DroppedExpired   uint64
+	DroppedShed      uint64
+	// RetryDeferrals counts handshake retries postponed (not dropped)
+	// because the node's retry budget was empty.
+	RetryDeferrals uint64
 	// SuspectMarks / DeadMarks / Resurrections / WatchdogResets trace
 	// the liveness layer: peers demoted to suspect or dead, peers
 	// restored by an overheard frame, and stuck-state force-resets.
@@ -136,12 +155,39 @@ func (c Counters) Add(o Counters) Counters {
 		Dropped:               c.Dropped + o.Dropped,
 		DroppedRetry:          c.DroppedRetry + o.DroppedRetry,
 		DroppedDeadPeer:       c.DroppedDeadPeer + o.DroppedDeadPeer,
+		DroppedQueueFull:      c.DroppedQueueFull + o.DroppedQueueFull,
+		DroppedOldest:         c.DroppedOldest + o.DroppedOldest,
+		DroppedExpired:        c.DroppedExpired + o.DroppedExpired,
+		DroppedShed:           c.DroppedShed + o.DroppedShed,
+		RetryDeferrals:        c.RetryDeferrals + o.RetryDeferrals,
 		SuspectMarks:          c.SuspectMarks + o.SuspectMarks,
 		DeadMarks:             c.DeadMarks + o.DeadMarks,
 		Resurrections:         c.Resurrections + o.Resurrections,
 		WatchdogResets:        c.WatchdogResets + o.WatchdogResets,
 		Probes:                c.Probes + o.Probes,
 		ImpossibleRx:          c.ImpossibleRx + o.ImpossibleRx,
+	}
+}
+
+// CountDrop accounts one abandoned packet under the given typed reason
+// (the obs.Drop* strings), keeping the per-cause breakdown in lockstep
+// with the Dropped total. Shared by Base and MACs with private drop
+// paths (S-ALOHA).
+func (c *Counters) CountDrop(reason string) {
+	c.Dropped++
+	switch reason {
+	case obs.DropRetryExhausted:
+		c.DroppedRetry++
+	case obs.DropDeadPeer:
+		c.DroppedDeadPeer++
+	case obs.DropQueueFull:
+		c.DroppedQueueFull++
+	case obs.DropOldest:
+		c.DroppedOldest++
+	case obs.DropExpired:
+		c.DroppedExpired++
+	case obs.DropShed:
+		c.DroppedShed++
 	}
 }
 

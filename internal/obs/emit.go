@@ -62,6 +62,8 @@ var (
 	extraPool        recPool[Extra, *Extra]
 	recoveryPool     recPool[Recovery, *Recovery]
 	packetDropPool   recPool[PacketDrop, *PacketDrop]
+	queueDepthPool   recPool[QueueDepth, *QueueDepth]
+	overloadPool     recPool[Overload, *Overload]
 	faultPool        recPool[Fault, *Fault]
 	invariantPool    recPool[Invariant, *Invariant]
 	engineSamplePool recPool[EngineSample, *EngineSample]
@@ -100,6 +102,12 @@ func (v Recovery) Emit(r Recorder, at sim.Time) { recoveryPool.emit(r, at, v) }
 
 // Emit records the event through r; see FrameEmit.Emit.
 func (v PacketDrop) Emit(r Recorder, at sim.Time) { packetDropPool.emit(r, at, v) }
+
+// Emit records the event through r; see FrameEmit.Emit.
+func (v QueueDepth) Emit(r Recorder, at sim.Time) { queueDepthPool.emit(r, at, v) }
+
+// Emit records the event through r; see FrameEmit.Emit.
+func (v Overload) Emit(r Recorder, at sim.Time) { overloadPool.emit(r, at, v) }
 
 // Emit records the event through r; see FrameEmit.Emit.
 func (v Fault) Emit(r Recorder, at sim.Time) { faultPool.emit(r, at, v) }

@@ -276,6 +276,24 @@ func (j *JSONL) Record(at sim.Time, e Event) {
 		}
 		b = append(b, `,"seq":`...)
 		b = appendUint(b, uint64(ev.Seq))
+	case *QueueDepth:
+		b = append(b, `,"event":"mac.queue","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"len":`...)
+		b = appendInt(b, int64(ev.Len))
+		b = append(b, `,"op":`...)
+		b = appendJSONString(b, ev.Op)
+		if ev.Sojourn > 0 {
+			b = append(b, `,"sojourn":`...)
+			b = j.num(b, ev.Sojourn.Seconds())
+		}
+	case *Overload:
+		b = append(b, `,"event":"mac.overload","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = append(b, `,"action":`...)
+		b = appendJSONString(b, ev.Action)
+		b = append(b, `,"len":`...)
+		b = appendInt(b, int64(ev.Len))
 	case *Invariant:
 		b = append(b, `,"event":"mac.invariant","node":`...)
 		b = appendUint(b, uint64(uint16(ev.Node)))

@@ -277,14 +277,26 @@ type Recovery struct {
 // Tag implements Event.
 func (Recovery) Tag() string { return "mac.recovery" }
 
-// Packet drop reasons. The queue can also tail-drop on overflow, but
-// that never reaches the event bus (it happens before the packet has
-// an identity worth tracing).
+// Packet drop reasons. Every packet the MAC abandons — including queue
+// overflow, which historically never reached the event bus — is
+// reported with one of these.
 const (
 	// DropRetryExhausted: the handshake failed MaxRetries times.
 	DropRetryExhausted = "retry-exhausted"
 	// DropDeadPeer: the packet's next hop was declared dead.
 	DropDeadPeer = "dead-peer"
+	// DropQueueFull: the bounded queue rejected or displaced the packet
+	// on overflow (tail drop, or a priority insert displacing it).
+	DropQueueFull = "queue-full"
+	// DropOldest: the drop-oldest policy evicted the packet to admit a
+	// newer one.
+	DropOldest = "drop-oldest"
+	// DropExpired: the packet outlived its per-packet deadline and was
+	// lazily evicted.
+	DropExpired = "deadline-expired"
+	// DropShed: the admission gate refused the packet while occupancy
+	// sat above the high-water mark.
+	DropShed = "load-shed"
 )
 
 // PacketDrop records one queued application packet abandoned by the
@@ -299,6 +311,55 @@ type PacketDrop struct {
 
 // Tag implements Event.
 func (PacketDrop) Tag() string { return "mac.drop" }
+
+// Queue occupancy operations.
+const (
+	// QueuePush: a packet was accepted into the transmit queue.
+	QueuePush = "push"
+	// QueuePop: a packet left the queue for service (dequeue or
+	// completion — drops are reported as PacketDrop, not here).
+	QueuePop = "pop"
+)
+
+// QueueDepth records one transmit-queue occupancy change. Len is the
+// occupancy after the operation; Sojourn is the packet's
+// generation→dequeue time, set on pop only — together they give queue
+// backlog and waiting-time distributions under load.
+type QueueDepth struct {
+	Node    packet.NodeID
+	Len     int
+	Op      string
+	Sojourn time.Duration
+}
+
+// Tag implements Event.
+func (QueueDepth) Tag() string { return "mac.queue" }
+
+// Overload lifecycle actions.
+const (
+	// OverloadShedBegin: queue occupancy crossed the high-water mark;
+	// the admission gate closed and begins shedding.
+	OverloadShedBegin = "shed-begin"
+	// OverloadShedEnd: occupancy drained to the low-water mark; the
+	// gate reopened.
+	OverloadShedEnd = "shed-end"
+	// OverloadRetryDefer: a handshake retry was postponed because the
+	// node's retry budget was empty.
+	OverloadRetryDefer = "retry-defer"
+)
+
+// Overload records one step of the MAC overload-protection machinery:
+// the admission gate opening or closing an overload episode, or the
+// retry budget deferring a retry. Len is the queue occupancy at the
+// instant of the action.
+type Overload struct {
+	Node   packet.NodeID
+	Action string
+	Len    int
+}
+
+// Tag implements Event.
+func (Overload) Tag() string { return "mac.overload" }
 
 // ---- Fault events ----
 

@@ -30,6 +30,8 @@ const (
 	tagExtra
 	tagRecovery
 	tagDrop
+	tagQueue
+	tagOverload
 	tagFault
 	tagInvariant
 	tagSample
@@ -48,6 +50,8 @@ var tagNames = [tagCount]string{
 	tagExtra:      Extra{}.Tag(),
 	tagRecovery:   Recovery{}.Tag(),
 	tagDrop:       PacketDrop{}.Tag(),
+	tagQueue:      QueueDepth{}.Tag(),
+	tagOverload:   Overload{}.Tag(),
 	tagFault:      Fault{}.Tag(),
 	tagInvariant:  Invariant{}.Tag(),
 	tagSample:     EngineSample{}.Tag(),
@@ -68,7 +72,14 @@ type Collector struct {
 	invariants map[string]uint64
 	recovery   map[string]uint64
 	drops      map[string]uint64
+	overload   map[string]uint64
 	dropsNode  []uint64 // indexed by node id; see Report
+
+	// Queue occupancy fold: network-wide peak depth and the sojourn
+	// accumulator over serviced (popped) packets.
+	queuePeak  int
+	sojournSum float64
+	sojournN   uint64
 
 	// pairKeys interns the "a/b" composite keys (deny action/reason,
 	// fault kind/action) so folding a repeated pair never concatenates.
@@ -92,6 +103,7 @@ func NewCollector() *Collector {
 		invariants: make(map[string]uint64),
 		recovery:   make(map[string]uint64),
 		drops:      make(map[string]uint64),
+		overload:   make(map[string]uint64),
 		pairKeys:   make(map[[2]string]string),
 	}
 }
@@ -156,6 +168,18 @@ func (c *Collector) Record(at sim.Time, e Event) {
 			c.dropsNode = grown
 		}
 		c.dropsNode[id]++
+	case *QueueDepth:
+		c.tags[tagQueue]++
+		if ev.Len > c.queuePeak {
+			c.queuePeak = ev.Len
+		}
+		if ev.Op == QueuePop {
+			c.sojournSum += ev.Sojourn.Seconds()
+			c.sojournN++
+		}
+	case *Overload:
+		c.tags[tagOverload]++
+		c.overload[ev.Action]++
 	case *Fault:
 		c.tags[tagFault]++
 		c.faults[c.pairKey(ev.Kind, ev.Action)]++
@@ -203,6 +227,14 @@ type RunReport struct {
 	RecoveryEvents map[string]uint64 `json:"recovery,omitempty"`
 	Drops          map[string]uint64 `json:"drops,omitempty"`
 	DropsByNode    map[string]uint64 `json:"drops_by_node,omitempty"`
+	// Overload breaks mac.overload down by action (shed-begin/shed-end/
+	// retry-defer); QueuePeakDepth is the deepest any transmit queue
+	// got, and QueueMeanSojournS the mean generation→dequeue time over
+	// serviced packets. All empty/zero — and omitted — when queue
+	// occupancy events were never recorded.
+	Overload          map[string]uint64 `json:"overload,omitempty"`
+	QueuePeakDepth    int               `json:"queue_peak_depth,omitempty"`
+	QueueMeanSojournS float64           `json:"queue_mean_sojourn_s,omitempty"`
 
 	// DeliveredPackets / DeliveredBits count unique payload deliveries
 	// (they match mac.Counters exactly; see the experiment tests).
@@ -271,6 +303,15 @@ type ResilienceStats struct {
 	DeadMarks      uint64 `json:"dead_marks"`
 	Resurrections  uint64 `json:"resurrections"`
 	WatchdogResets uint64 `json:"watchdog_resets"`
+	// Overload tallies from the mac.overload stream: merged windows with
+	// at least one admission gate closed (episodes and total seconds),
+	// packets refused by a closed gate, and retries postponed by an
+	// empty retry budget. All zero — and omitted — when the overload
+	// layer never fired.
+	OverloadEpisodes int     `json:"overload_episodes,omitempty"`
+	OverloadS        float64 `json:"overload_s,omitempty"`
+	ShedPackets      uint64  `json:"shed_packets,omitempty"`
+	RetryDeferrals   uint64  `json:"retry_deferrals,omitempty"`
 }
 
 // SupervisionStats records how the runner supervision layer treated a
@@ -304,6 +345,8 @@ func (c *Collector) Report(durationS float64) *RunReport {
 		RecoveryEvents:   copyMap(c.recovery),
 		Drops:            copyMap(c.drops),
 		DropsByNode:      c.dropsByNode(),
+		Overload:         copyMap(c.overload),
+		QueuePeakDepth:   c.queuePeak,
 		DeliveredPackets: c.delivered,
 		DeliveredBits:    c.deliveredBits,
 		ExtraDelivered:   c.extraDelivered,
@@ -317,6 +360,9 @@ func (c *Collector) Report(durationS float64) *RunReport {
 	}
 	if rounds := c.contention[ContentionWon] + c.contention[ContentionTimeout]; rounds > 0 {
 		r.ContentionWinRate = float64(c.contention[ContentionWon]) / float64(rounds)
+	}
+	if c.sojournN > 0 {
+		r.QueueMeanSojournS = c.sojournSum / float64(c.sojournN)
 	}
 	return r
 }
@@ -433,6 +479,14 @@ func (r *RunReport) WriteProm(w io.Writer) error {
 	family("uasn_recovery_events_total", "MAC liveness/watchdog recovery steps by action.", "counter", r.RecoveryEvents, "action")
 	family("uasn_dropped_total", "MAC packet drops by reason.", "counter", r.Drops, "reason")
 	family("uasn_dropped_by_node_total", "MAC packet drops by dropping node.", "counter", r.DropsByNode, "node")
+	family("uasn_overload_total", "Overload-protection steps by action.", "counter", r.Overload, "action")
+	if r.QueuePeakDepth > 0 {
+		scalar("uasn_queue_peak_depth", "Deepest transmit-queue occupancy seen.", "gauge", float64(r.QueuePeakDepth))
+		scalar("uasn_queue_mean_sojourn_seconds", "Mean generation-to-dequeue time of serviced packets.", "gauge", r.QueueMeanSojournS)
+	}
+	if shed := r.Drops[DropShed]; shed > 0 {
+		scalar("uasn_shed_total", "Packets refused by the admission gate.", "counter", float64(shed))
+	}
 	scalar("uasn_delivered_packets", "Unique data payloads delivered.", "counter", float64(r.DeliveredPackets))
 	scalar("uasn_delivered_bits", "Unique payload bits delivered.", "counter", float64(r.DeliveredBits))
 	scalar("uasn_throughput_kbps", "Delivered payload rate over the window.", "gauge", r.ThroughputKbps)

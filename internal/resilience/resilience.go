@@ -65,11 +65,24 @@ type Tracker struct {
 	deads         uint64
 	resurrections uint64
 	watchdogs     uint64
+
+	// Overload episodes: merged windows during which at least one node's
+	// admission gate is shedding, plus shed/defer tallies.
+	shedNodes        map[packet.NodeID]bool
+	shedActive       int
+	overloadStart    sim.Time
+	overload         time.Duration
+	overloadEpisodes int
+	sheds            uint64
+	retryDeferrals   uint64
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{active: make(map[episodeKey]sim.Time)}
+	return &Tracker{
+		active:    make(map[episodeKey]sim.Time),
+		shedNodes: make(map[packet.NodeID]bool),
+	}
 }
 
 var _ obs.Recorder = (*Tracker)(nil)
@@ -129,6 +142,34 @@ func (t *Tracker) Record(at sim.Time, e obs.Event) {
 		case obs.RecoveryWatchdog:
 			t.watchdogs++
 		}
+	case *obs.Overload:
+		switch ev.Action {
+		case obs.OverloadShedBegin:
+			if t.shedNodes[ev.Node] {
+				return
+			}
+			t.shedNodes[ev.Node] = true
+			if t.shedActive == 0 {
+				t.overloadStart = at
+				t.overloadEpisodes++
+			}
+			t.shedActive++
+		case obs.OverloadShedEnd:
+			if !t.shedNodes[ev.Node] {
+				return
+			}
+			delete(t.shedNodes, ev.Node)
+			t.shedActive--
+			if t.shedActive == 0 {
+				t.overload += at.Sub(t.overloadStart)
+			}
+		case obs.OverloadRetryDefer:
+			t.retryDeferrals++
+		}
+	case *obs.PacketDrop:
+		if ev.Reason == obs.DropShed {
+			t.sheds++
+		}
 	}
 }
 
@@ -161,6 +202,10 @@ func (t *Tracker) Summary(end sim.Time, stranded int) *obs.ResilienceStats {
 	if clean < 0 {
 		clean = 0
 	}
+	overload := t.overload
+	if t.shedActive > 0 && end.After(t.overloadStart) {
+		overload += end.Sub(t.overloadStart)
+	}
 	st := &obs.ResilienceStats{
 		Episodes:           t.episodes,
 		Recovered:          len(t.ttrs),
@@ -174,6 +219,10 @@ func (t *Tracker) Summary(end sim.Time, stranded int) *obs.ResilienceStats {
 		DeadMarks:          t.deads,
 		Resurrections:      t.resurrections,
 		WatchdogResets:     t.watchdogs,
+		OverloadEpisodes:   t.overloadEpisodes,
+		OverloadS:          overload.Seconds(),
+		ShedPackets:        t.sheds,
+		RetryDeferrals:     t.retryDeferrals,
 	}
 	if len(t.ttrs) > 0 {
 		var sum, max time.Duration

@@ -37,8 +37,16 @@ type Generator struct {
 	stopAt  sim.Time
 	startAt sim.Time
 
+	// Closed-loop mode: backpressure is the MAC's congestion signal;
+	// normal-priority packets are withheld (counted in throttled) while
+	// it reports overload. highEvery > 0 marks every Nth packet
+	// high-priority; high packets are never throttled.
+	backpressure func() bool
+	highEvery    int
+
 	generated uint64
 	unrouted  uint64
+	throttled uint64
 }
 
 // Config assembles a Generator.
@@ -53,6 +61,15 @@ type Config struct {
 	Bits int
 	// Start and Stop bound the generation window.
 	Start, Stop sim.Time
+	// Backpressure, when non-nil, turns the generator closed-loop: each
+	// normal-priority arrival consults it and is withheld (not offered
+	// to the MAC) while it reports true. Nil keeps the historical
+	// open-loop behaviour. The Poisson schedule itself is untouched, so
+	// the RNG stream is identical either way.
+	Backpressure func() bool
+	// HighEvery marks every Nth generated packet high-priority (0 =
+	// never). High packets bypass the backpressure check.
+	HighEvery int
 }
 
 // NewGenerator validates cfg and returns an unstarted generator.
@@ -72,17 +89,21 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		return nil, fmt.Errorf("traffic: negative rate %v", cfg.RatePPS)
 	case cfg.Stop <= cfg.Start:
 		return nil, fmt.Errorf("traffic: window [%v, %v] empty", cfg.Start, cfg.Stop)
+	case cfg.HighEvery < 0:
+		return nil, fmt.Errorf("traffic: negative HighEvery %d", cfg.HighEvery)
 	}
 	return &Generator{
-		node:    cfg.Node,
-		eng:     cfg.Engine,
-		rng:     cfg.Engine.RNG(fmt.Sprintf("traffic/%d", cfg.Node)),
-		sink:    cfg.Sink,
-		route:   cfg.Route,
-		rate:    cfg.RatePPS,
-		bits:    cfg.Bits,
-		startAt: cfg.Start,
-		stopAt:  cfg.Stop,
+		node:         cfg.Node,
+		eng:          cfg.Engine,
+		rng:          cfg.Engine.RNG(fmt.Sprintf("traffic/%d", cfg.Node)),
+		sink:         cfg.Sink,
+		route:        cfg.Route,
+		rate:         cfg.RatePPS,
+		bits:         cfg.Bits,
+		startAt:      cfg.Start,
+		stopAt:       cfg.Stop,
+		backpressure: cfg.Backpressure,
+		highEvery:    cfg.HighEvery,
 	}, nil
 }
 
@@ -113,6 +134,15 @@ func (g *Generator) fire() {
 		return
 	}
 	g.seq++
+	high := g.highEvery > 0 && g.seq%uint32(g.highEvery) == 0
+	if g.backpressure != nil && !high && g.backpressure() {
+		// Closed loop: the MAC says it is overloaded, so this arrival
+		// is withheld at the source rather than shed at the queue. The
+		// sequence number is still consumed — the stream's identity is
+		// its schedule, not its admissions.
+		g.throttled++
+		return
+	}
 	g.generated++
 	g.sink.Enqueue(mac.AppPacket{
 		Dst:         dst,
@@ -120,6 +150,7 @@ func (g *Generator) fire() {
 		Origin:      g.node,
 		Seq:         g.seq,
 		GeneratedAt: g.eng.Now().Duration(),
+		High:        high,
 	})
 }
 
@@ -128,6 +159,9 @@ func (g *Generator) Generated() uint64 { return g.generated }
 
 // Unrouted reports packets dropped for lack of a next hop.
 func (g *Generator) Unrouted() uint64 { return g.unrouted }
+
+// Throttled reports packets withheld at the source by backpressure.
+func (g *Generator) Throttled() uint64 { return g.throttled }
 
 // PerNodeRate converts a network-wide offered load in kbps into the
 // per-node Poisson rate in packets per second for n generating nodes
