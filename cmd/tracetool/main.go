@@ -8,6 +8,7 @@
 //	tracetool slots -in run.slots -ratio        # bare exploitation ratio
 //	tracetool events -in run.jsonl -event mac.deliver -node 3
 //	tracetool drops -in run.jsonl -top 5
+//	tracetool violations -in run.jsonl -show 3
 //	tracetool diff a.spans b.spans
 //
 // Every subcommand streams its input line by line, so multi-gigabyte
@@ -43,6 +44,7 @@ commands:
   slots    waiting-resource slot profile table (-ratio: bare run ratio)
   events   filter the trace-v2 event stream (-event, -node)
   drops    per-reason and per-node drop/shed counts (-top N noisiest nodes)
+  violations  conformance-oracle violations by reason and node (-show N details)
   diff     compare two span files' aggregate counts
 
 run "tracetool <command> -h" for the command's flags`)
@@ -65,6 +67,8 @@ func run(args []string) int {
 		err = cmdEvents(args[1:])
 	case "drops":
 		err = cmdDrops(args[1:])
+	case "violations":
+		err = cmdViolations(args[1:])
 	case "diff":
 		err = cmdDiff(args[1:])
 	default:
@@ -481,6 +485,120 @@ func cmdDrops(args []string) error {
 	}
 	if shown < len(nodes) {
 		fmt.Printf("# (%d more node(s) suppressed by -top)\n", len(nodes)-shown)
+	}
+	return nil
+}
+
+// cmdViolations reduces the trace-v2 stream's oracle.violation events
+// to per-reason and per-node tables — the triage view over a -verify
+// run that failed conformance — and prints the first few violation
+// details verbatim.
+func cmdViolations(args []string) error {
+	fs := flag.NewFlagSet("violations", flag.ExitOnError)
+	in := fs.String("in", "", "trace-v2 JSONL file (required)")
+	top := fs.Int("top", 10, "show the N nodes with the most violations (0 = all)")
+	show := fs.Int("show", 5, "print the first N violation details (0 = none)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("violations: -in is required")
+	}
+
+	type nodeAgg struct {
+		node     int
+		total    int
+		byReason map[string]int
+	}
+	byReason := map[string]int{}
+	byNode := map[int]*nodeAgg{}
+	var details []string
+	total := 0
+	err := scanLines(*in, func(_ int, line []byte) error {
+		var m struct {
+			At     float64 `json:"at"`
+			Event  string  `json:"event"`
+			Node   int     `json:"node"`
+			Reason string  `json:"reason"`
+			Detail string  `json:"detail"`
+		}
+		if err := json.Unmarshal(line, &m); err != nil {
+			return err
+		}
+		if m.Event != "oracle.violation" {
+			return nil
+		}
+		total++
+		byReason[m.Reason]++
+		a := byNode[m.Node]
+		if a == nil {
+			a = &nodeAgg{node: m.Node, byReason: map[string]int{}}
+			byNode[m.Node] = a
+		}
+		a.total++
+		a.byReason[m.Reason]++
+		if len(details) < *show {
+			d := m.Detail
+			if d == "" {
+				d = m.Reason
+			}
+			details = append(details, fmt.Sprintf("t=%.3fs node %d [%s] %s", m.At, m.Node, m.Reason, d))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		fmt.Println("no oracle.violation events")
+		return nil
+	}
+
+	reasons := make([]string, 0, len(byReason))
+	for r := range byReason {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool {
+		if byReason[reasons[i]] != byReason[reasons[j]] {
+			return byReason[reasons[i]] > byReason[reasons[j]]
+		}
+		return reasons[i] < reasons[j]
+	})
+	fmt.Printf("%d violation(s) across %d node(s)\n", total, len(byNode))
+	for _, r := range reasons {
+		fmt.Printf("  %-18s %6d\n", r, byReason[r])
+	}
+
+	nodes := make([]*nodeAgg, 0, len(byNode))
+	for _, a := range byNode {
+		nodes = append(nodes, a)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].total != nodes[j].total {
+			return nodes[i].total > nodes[j].total
+		}
+		return nodes[i].node < nodes[j].node
+	})
+	shown := len(nodes)
+	if *top > 0 && shown > *top {
+		shown = *top
+	}
+	fmt.Printf("%6s %7s  breakdown\n", "node", "violations")
+	for _, a := range nodes[:shown] {
+		parts := make([]string, 0, len(a.byReason))
+		for _, r := range reasons {
+			if n := a.byReason[r]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", r, n))
+			}
+		}
+		fmt.Printf("%6d %7d  %s\n", a.node, a.total, strings.Join(parts, " "))
+	}
+	if shown < len(nodes) {
+		fmt.Printf("# (%d more node(s) suppressed by -top)\n", len(nodes)-shown)
+	}
+	for i, d := range details {
+		if i == 0 {
+			fmt.Println("first violations:")
+		}
+		fmt.Println("  " + d)
 	}
 	return nil
 }

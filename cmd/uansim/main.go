@@ -9,6 +9,7 @@
 //	uansim -proto ewmac -timeseries ts.csv   # periodic health samples
 //	uansim -proto ewmac -report run.json     # per-run report (JSON)
 //	uansim -proto ewmac -report run.prom     # same, Prometheus text
+//	uansim -proto all -verify                # streaming Equation-(1) conformance check
 //	uansim -proto ewmac -http :8080          # live /metrics, /progress, pprof
 //	uansim -proto ewmac -faults chaos.json   # fault-injection scenario
 //	uansim -proto ewmac -load 4 -policy deadline -ttl 30s -admission 0.9 \
@@ -81,6 +82,7 @@ func run() int {
 		timeseries = flag.String("timeseries", "", "write periodic CSV health samples to this file (single protocol only)")
 		report     = flag.String("report", "", "write a run report to this file: .json for JSON, otherwise Prometheus text (single protocol only)")
 		sample     = flag.Duration("sample", time.Second, "sampling period for -timeseries, in simulated time")
+		verify     = flag.Bool("verify", false, "verify every reception against the paper's Equation (1) as the run streams; exit nonzero on any violation")
 		httpAddr   = flag.String("http", "", "serve live run introspection (/metrics, /progress, /debug/pprof) on this address")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -196,6 +198,7 @@ func run() int {
 		}()
 	}
 
+	var totalViolations uint64
 	fmt.Printf("%-8s %10s %8s %10s %9s %12s %9s\n",
 		"protocol", "thr(kbps)", "deliv%", "exec(s)", "pow(mW)", "overhead(b)", "colls")
 	for _, p := range protos {
@@ -235,6 +238,12 @@ func run() int {
 			commitObs, abortObs = commit, abort
 			c := cfg
 			c.Observe = obsCfg
+			if *verify {
+				if c.Observe == nil {
+					c.Observe = &experiment.Observe{}
+				}
+				c.Observe.Verify = true
+			}
 			if live != nil {
 				if c.Observe == nil {
 					c.Observe = &experiment.Observe{}
@@ -308,6 +317,16 @@ func run() int {
 			fmt.Print("  (resumed)")
 		}
 		fmt.Println()
+		if *verify && res != nil && res.Conformance != nil {
+			st := res.Conformance
+			if st.Violations == 0 {
+				fmt.Printf("  conformance: ok (%d receptions, %d losses checked; peak index %d arrivals / %d tx spans)\n",
+					st.Receptions, st.Losses, st.PeakArrivals, st.PeakTxSpans)
+			} else {
+				totalViolations += st.Violations
+				fmt.Printf("  conformance: %d VIOLATIONS %v\n", st.Violations, st.ByReason)
+			}
+		}
 		if *verbose {
 			fmt.Printf("  generated=%d delivered=%d (extra=%d) acked=%d rts=%d cts=%d retrans=%d\n",
 				s.MAC.Generated, s.MAC.DeliveredPackets, s.MAC.ExtraDeliveredPackets,
@@ -361,6 +380,10 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "uansim: %v\n", err)
 			return 1
 		}
+	}
+	if totalViolations > 0 {
+		fmt.Fprintf(os.Stderr, "uansim: conformance verification failed: %d violations\n", totalViolations)
+		return 1
 	}
 	return 0
 }

@@ -80,7 +80,12 @@ func SlotUtilization(s mac.SlotConfig, dataBits int, bitRate float64) float64 {
 // OptimalDataBits returns, within [minBits, maxBits], the payload size
 // maximizing the serialized ceiling — the paper's §2 argument (after
 // Basagni et al.) that long propagation delays favour large packets.
+// A non-positive step or an empty range degenerates to minBits rather
+// than scanning (a step ≤ 0 would otherwise never terminate).
 func OptimalDataBits(s mac.SlotConfig, tau time.Duration, bitRate float64, minBits, maxBits, step int) int {
+	if step <= 0 || maxBits < minBits {
+		return minBits
+	}
 	best, bestThr := minBits, 0.0
 	for b := minBits; b <= maxBits; b += step {
 		if thr := SerializedCeilingKbps(s, b, tau, bitRate); thr > bestThr {

@@ -113,3 +113,32 @@ func TestOptimalDataBitsPrefersLargest(t *testing.T) {
 		t.Errorf("OptimalDataBits = %d, want 4096 (Table 2 range)", got)
 	}
 }
+
+// TestOptimalDataBitsDegenerateInputs: a non-positive step or an empty
+// range must return minBits immediately — a step of 0 used to loop
+// forever.
+func TestOptimalDataBitsDegenerateInputs(t *testing.T) {
+	s := slots()
+	for _, c := range []struct {
+		name                   string
+		minBits, maxBits, step int
+	}{
+		{"zero step", 1024, 4096, 0},
+		{"negative step", 1024, 4096, -512},
+		{"empty range", 4096, 1024, 1024},
+		{"empty range zero step", 4096, 1024, 0},
+	} {
+		done := make(chan int, 1)
+		go func() {
+			done <- OptimalDataBits(s, 400*time.Millisecond, 12000, c.minBits, c.maxBits, c.step)
+		}()
+		select {
+		case got := <-done:
+			if got != c.minBits {
+				t.Errorf("%s: OptimalDataBits = %d, want minBits %d", c.name, got, c.minBits)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: OptimalDataBits hung", c.name)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"ewmac/internal/metrics"
 	"ewmac/internal/obs"
 	"ewmac/internal/obs/slotprof"
+	"ewmac/internal/oracle"
 	"ewmac/internal/packet"
 	"ewmac/internal/phy"
 	"ewmac/internal/resilience"
@@ -277,6 +278,10 @@ type Result struct {
 	// time-to-recover, degraded-window delivery, stranded packets),
 	// set on fault-injected runs.
 	Resilience *obs.ResilienceStats
+	// Conformance is the streaming oracle's summary (receptions
+	// checked, violations by reason, index high-water marks), set when
+	// Config.Observe enables verification.
+	Conformance *oracle.Stats
 }
 
 // Run executes one scenario.
@@ -333,7 +338,7 @@ func Run(cfg Config) (*Result, error) {
 		tracker = resilience.NewTracker()
 		trackerRec = tracker
 	}
-	ro := newRunObs(cfg, slots, model.BitRate(), trackerRec)
+	ro := newRunObs(cfg, slots, model, trackerRec)
 	if ro.rec != nil {
 		ch.SetRecorder(ro.rec)
 	}
@@ -536,6 +541,11 @@ func Run(cfg Config) (*Result, error) {
 			rep.Resilience = resil
 		}
 	}
+	var conf *oracle.Stats
+	if ro.verifier != nil {
+		st := ro.verifier.Stats()
+		conf = &st
+	}
 	return &Result{
 		Config:       cfg,
 		Summary:      sum,
@@ -545,6 +555,7 @@ func Run(cfg Config) (*Result, error) {
 		Report:       rep,
 		SlotProfile:  ro.slotSum,
 		Resilience:   resil,
+		Conformance:  conf,
 	}, nil
 }
 

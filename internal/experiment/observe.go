@@ -5,10 +5,13 @@ import (
 	"io"
 	"time"
 
+	"ewmac/internal/acoustic"
+	"ewmac/internal/channel"
 	"ewmac/internal/mac"
 	"ewmac/internal/obs"
 	"ewmac/internal/obs/slotprof"
 	"ewmac/internal/obs/span"
+	"ewmac/internal/oracle"
 	"ewmac/internal/phy"
 	"ewmac/internal/sim"
 )
@@ -47,6 +50,14 @@ type Observe struct {
 	SlotProfile io.Writer
 	// Report enables event aggregation into Result.Report.
 	Report bool
+	// Verify arms the streaming conformance oracle: every reception is
+	// checked against the paper's Equation (1) (plus the §4.2
+	// extra-communication guard) as it is recorded, with bounded memory.
+	// Violations surface as typed oracle.violation trace events, in
+	// RunReport.OracleViolations, in the resilience summary, and in
+	// Result.Conformance. Purely observational: protocol behaviour and
+	// RNG streams are untouched.
+	Verify bool
 }
 
 // recorder adapts the legacy Instrumentation taps to the event bus, so
@@ -83,15 +94,17 @@ type runObs struct {
 	spans     *span.Assembler
 	slotprof  *slotprof.Profiler
 	slotSum   *slotprof.Summary
+	verifier  *oracle.Streaming
 	closed    bool
 }
 
 // newRunObs assembles the recorder fan-out for one run; rec stays nil
-// when nothing is enabled. slots and bitRate parameterize the slot
-// profiler (they are protocol-independent, so every consumer of one
-// run sees the same slot grid). extra splices additional recorders
-// (the resilience tracker on fault-injected runs) into the fan-out.
-func newRunObs(cfg Config, slots mac.SlotConfig, bitRate float64, extra ...obs.Recorder) *runObs {
+// when nothing is enabled. slots and model parameterize the slot
+// profiler and the conformance verifier (they are protocol-
+// independent, so every consumer of one run sees the same slot grid
+// and PHY thresholds). extra splices additional recorders (the
+// resilience tracker on fault-injected runs) into the fan-out.
+func newRunObs(cfg Config, slots mac.SlotConfig, model *acoustic.Model, extra ...obs.Recorder) *runObs {
 	ro := &runObs{}
 	recs := append([]obs.Recorder(nil), extra...)
 	if o := cfg.Observe; o != nil {
@@ -109,7 +122,7 @@ func newRunObs(cfg Config, slots mac.SlotConfig, bitRate float64, extra ...obs.R
 			ro.slotprof = slotprof.New(slotprof.Config{
 				Protocol: cfg.Protocol.DisplayName(),
 				SlotLen:  slots.Len(),
-				BitRate:  bitRate,
+				BitRate:  model.BitRate(),
 				Start:    sim.At(cfg.Warmup),
 				End:      sim.At(cfg.SimTime),
 				Writer:   o.SlotProfile,
@@ -120,9 +133,25 @@ func newRunObs(cfg Config, slots mac.SlotConfig, bitRate float64, extra ...obs.R
 			ro.collector = obs.NewCollector()
 			recs = append(recs, ro.collector)
 		}
+		if o.Verify {
+			// Eviction lookback must cover the farthest interference
+			// arrival the channel will schedule.
+			horizon := time.Duration(float64(model.MaxDelay()) * channel.InterferenceRangeFactor)
+			ro.verifier = oracle.NewStreaming(model.BitRate(), model.SINRThresholdDB, horizon)
+		}
 	}
 	recs = append(recs, cfg.Instrument.recorder())
+	if ro.verifier != nil {
+		// The verifier must sit LAST: it re-emits violations into the
+		// same fan-out, and the JSONL exporter (among others) is not
+		// re-entrant mid-Record — by the time the verifier runs, every
+		// other recorder has finished with the triggering event.
+		recs = append(recs, ro.verifier)
+	}
 	ro.rec = obs.Multi(recs...)
+	if ro.verifier != nil {
+		ro.verifier.SetSink(ro.rec)
+	}
 	return ro
 }
 

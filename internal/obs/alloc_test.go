@@ -37,6 +37,7 @@ func steadyState() (at sim.Time, f *packet.Frame, emit func(Recorder)) {
 		Extra{Node: 1, Peer: 2, Action: ExtraDeny, Reason: "gap-too-small", XID: 5, Parent: 4}.Emit(r, at)
 		Recovery{Node: 3, Peer: 8, Action: RecoverySuspect, Detail: "2 failures"}.Emit(r, at)
 		PacketDrop{Node: 5, Peer: 9, Reason: DropRetryExhausted, Origin: 5, Seq: 77}.Emit(r, at)
+		OracleViolation{Node: 7, Frame: f, Reason: OracleCapture, Detail: "overlap"}.Emit(r, at)
 		Fault{Node: 6, Kind: "outage", Action: FaultInject}.Emit(r, at)
 		Invariant{Node: 1, Check: "impossible-rx", Detail: "d"}.Emit(r, at)
 		EngineSample{QueueDepth: 42, EventsPerSec: 180443.75, VirtualWallRatio: 12.5}.Emit(r, at)

@@ -64,6 +64,7 @@ var (
 	packetDropPool   recPool[PacketDrop, *PacketDrop]
 	queueDepthPool   recPool[QueueDepth, *QueueDepth]
 	overloadPool     recPool[Overload, *Overload]
+	oracleViolPool   recPool[OracleViolation, *OracleViolation]
 	faultPool        recPool[Fault, *Fault]
 	invariantPool    recPool[Invariant, *Invariant]
 	engineSamplePool recPool[EngineSample, *EngineSample]
@@ -108,6 +109,9 @@ func (v QueueDepth) Emit(r Recorder, at sim.Time) { queueDepthPool.emit(r, at, v
 
 // Emit records the event through r; see FrameEmit.Emit.
 func (v Overload) Emit(r Recorder, at sim.Time) { overloadPool.emit(r, at, v) }
+
+// Emit records the event through r; see FrameEmit.Emit.
+func (v OracleViolation) Emit(r Recorder, at sim.Time) { oracleViolPool.emit(r, at, v) }
 
 // Emit records the event through r; see FrameEmit.Emit.
 func (v Fault) Emit(r Recorder, at sim.Time) { faultPool.emit(r, at, v) }

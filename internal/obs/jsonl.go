@@ -239,6 +239,16 @@ func (j *JSONL) Record(at sim.Time, e Event) {
 			b = append(b, `,"parent":`...)
 			b = appendUint(b, ev.Parent)
 		}
+	case *OracleViolation:
+		b = append(b, `,"event":"oracle.violation","node":`...)
+		b = appendUint(b, uint64(uint16(ev.Node)))
+		b = appendFrame(b, ev.Frame)
+		b = append(b, `,"reason":`...)
+		b = appendJSONString(b, ev.Reason)
+		if ev.Detail != "" {
+			b = append(b, `,"detail":`...)
+			b = appendJSONString(b, ev.Detail)
+		}
 	case *Fault:
 		b = append(b, `,"event":"fault.event","node":`...)
 		b = appendUint(b, uint64(uint16(ev.Node)))

@@ -127,6 +127,14 @@ func refEncode(w *bytes.Buffer, at sim.Time, e Event) error {
 			XID    uint64 `json:"xid,omitempty"`
 			Parent uint64 `json:"parent,omitempty"`
 		}{h, uint16(ev.Node), uint16(ev.Peer), ev.Action, ev.Reason, ev.XID, ev.Parent}
+	case *OracleViolation:
+		line = struct {
+			refHeader
+			Node uint16 `json:"node"`
+			refFrameRef
+			Reason string `json:"reason"`
+			Detail string `json:"detail,omitempty"`
+		}{h, uint16(ev.Node), refFlatten(ev.Frame), ev.Reason, ev.Detail}
 	case *Fault:
 		line = struct {
 			refHeader
@@ -227,6 +235,8 @@ func fidelityEvents() []Event {
 		&Recovery{Node: 3, Action: RecoveryWatchdog},
 		&PacketDrop{Node: 5, Peer: 9, Reason: DropRetryExhausted, Origin: 5, Seq: 77},
 		&PacketDrop{Node: 5, Peer: 9, Reason: DropDeadPeer},
+		&OracleViolation{Node: 7, Frame: full, Reason: OracleCapture, Detail: "overlaps 9 Data seq=3 @1s"},
+		&OracleViolation{Node: 7, Frame: bare, Reason: OracleHalfDuplex},
 		&Invariant{Node: 1, Check: "impossible-rx", Detail: "measured delay -3ms outside [0, 2s]"},
 		&Invariant{Node: 1, Check: "channel.broadcast.src"},
 		&EngineSample{QueueDepth: 42, EventsPerSec: 180443.75, VirtualWallRatio: 1216.0625},
@@ -239,6 +249,7 @@ func fidelityEvents() []Event {
 			&MACState{Node: 1, From: s, To: s, Slot: 0},
 			&Extra{Node: 1, Peer: 2, Action: s, Reason: s, XID: 1},
 			&Fault{Node: 1, Kind: s, Action: s, Detail: s},
+			&OracleViolation{Node: 1, Frame: bare, Reason: s, Detail: s},
 		)
 	}
 	// Every nasty float, through the header "at" (handled by the

@@ -361,6 +361,41 @@ type Overload struct {
 // Tag implements Event.
 func (Overload) Tag() string { return "mac.overload" }
 
+// ---- Conformance events ----
+
+// Oracle violation reasons. Each names the conformance property the
+// streaming Equation-(1) verifier (internal/oracle.Streaming) found
+// broken for one reception or loss.
+const (
+	// OracleNoEmission: a decode was claimed for a frame the channel
+	// never delivered to that receiver.
+	OracleNoEmission = "no-emission"
+	// OracleHalfDuplex: a frame was decoded while its receiver was
+	// transmitting.
+	OracleHalfDuplex = "half-duplex"
+	// OracleCapture: a frame was decoded despite an overlapping foreign
+	// arrival within the capture margin (Equation (1) violation).
+	OracleCapture = "capture"
+	// OracleExtraGuard: a negotiated CTS/Data/Ack was lost to a
+	// collision with an extra-communication frame (§4.2 guard breach).
+	OracleExtraGuard = "extra-guard"
+)
+
+// OracleViolation records one conformance violation found by the
+// always-on verification oracle: the named reception or loss at Node is
+// inconsistent with channel-level ground truth. Frame is the violating
+// frame (copy-on-write, safe to retain); Detail names the conflicting
+// transmission or arrival.
+type OracleViolation struct {
+	Node   packet.NodeID
+	Frame  *packet.Frame
+	Reason string
+	Detail string
+}
+
+// Tag implements Event.
+func (OracleViolation) Tag() string { return "oracle.violation" }
+
 // ---- Fault events ----
 
 // Fault lifecycle actions.

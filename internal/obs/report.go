@@ -35,6 +35,7 @@ const (
 	tagFault
 	tagInvariant
 	tagSample
+	tagViolation
 	tagCount
 )
 
@@ -55,6 +56,7 @@ var tagNames = [tagCount]string{
 	tagFault:      Fault{}.Tag(),
 	tagInvariant:  Invariant{}.Tag(),
 	tagSample:     EngineSample{}.Tag(),
+	tagViolation:  OracleViolation{}.Tag(),
 }
 
 type Collector struct {
@@ -73,6 +75,7 @@ type Collector struct {
 	recovery   map[string]uint64
 	drops      map[string]uint64
 	overload   map[string]uint64
+	violations map[string]uint64
 	dropsNode  []uint64 // indexed by node id; see Report
 
 	// Queue occupancy fold: network-wide peak depth and the sojourn
@@ -104,6 +107,7 @@ func NewCollector() *Collector {
 		recovery:   make(map[string]uint64),
 		drops:      make(map[string]uint64),
 		overload:   make(map[string]uint64),
+		violations: make(map[string]uint64),
 		pairKeys:   make(map[[2]string]string),
 	}
 }
@@ -180,6 +184,9 @@ func (c *Collector) Record(at sim.Time, e Event) {
 	case *Overload:
 		c.tags[tagOverload]++
 		c.overload[ev.Action]++
+	case *OracleViolation:
+		c.tags[tagViolation]++
+		c.violations[ev.Reason]++
 	case *Fault:
 		c.tags[tagFault]++
 		c.faults[c.pairKey(ev.Kind, ev.Action)]++
@@ -235,6 +242,12 @@ type RunReport struct {
 	Overload          map[string]uint64 `json:"overload,omitempty"`
 	QueuePeakDepth    int               `json:"queue_peak_depth,omitempty"`
 	QueueMeanSojournS float64           `json:"queue_mean_sojourn_s,omitempty"`
+	// OracleViolations breaks oracle.violation down by reason
+	// (no-emission/half-duplex/capture/extra-guard). Empty — and
+	// omitted — unless the always-on conformance verifier found the run
+	// inconsistent with channel-level ground truth; any entry here means
+	// the paper's Equation (1) or §4.2 safety property was broken.
+	OracleViolations map[string]uint64 `json:"oracle_violations,omitempty"`
 
 	// DeliveredPackets / DeliveredBits count unique payload deliveries
 	// (they match mac.Counters exactly; see the experiment tests).
@@ -312,6 +325,11 @@ type ResilienceStats struct {
 	OverloadS        float64 `json:"overload_s,omitempty"`
 	ShedPackets      uint64  `json:"shed_packets,omitempty"`
 	RetryDeferrals   uint64  `json:"retry_deferrals,omitempty"`
+	// OracleViolations counts conformance-oracle violations observed
+	// during the run (zero — and omitted — on conforming runs). Folded
+	// here so the resilience summary answers "did the protocol stay
+	// safe under faults", not just "did it stay live".
+	OracleViolations uint64 `json:"oracle_violations,omitempty"`
 }
 
 // SupervisionStats records how the runner supervision layer treated a
@@ -346,6 +364,7 @@ func (c *Collector) Report(durationS float64) *RunReport {
 		Drops:            copyMap(c.drops),
 		DropsByNode:      c.dropsByNode(),
 		Overload:         copyMap(c.overload),
+		OracleViolations: copyMap(c.violations),
 		QueuePeakDepth:   c.queuePeak,
 		DeliveredPackets: c.delivered,
 		DeliveredBits:    c.deliveredBits,
@@ -480,6 +499,7 @@ func (r *RunReport) WriteProm(w io.Writer) error {
 	family("uasn_dropped_total", "MAC packet drops by reason.", "counter", r.Drops, "reason")
 	family("uasn_dropped_by_node_total", "MAC packet drops by dropping node.", "counter", r.DropsByNode, "node")
 	family("uasn_overload_total", "Overload-protection steps by action.", "counter", r.Overload, "action")
+	family("uasn_oracle_violations_total", "Conformance-oracle violations by reason.", "counter", r.OracleViolations, "reason")
 	if r.QueuePeakDepth > 0 {
 		scalar("uasn_queue_peak_depth", "Deepest transmit-queue occupancy seen.", "gauge", float64(r.QueuePeakDepth))
 		scalar("uasn_queue_mean_sojourn_seconds", "Mean generation-to-dequeue time of serviced packets.", "gauge", r.QueueMeanSojournS)

@@ -75,6 +75,8 @@ type Tracker struct {
 	overloadEpisodes int
 	sheds            uint64
 	retryDeferrals   uint64
+
+	oracleViolations uint64
 }
 
 // NewTracker returns an empty tracker.
@@ -170,6 +172,8 @@ func (t *Tracker) Record(at sim.Time, e obs.Event) {
 		if ev.Reason == obs.DropShed {
 			t.sheds++
 		}
+	case *obs.OracleViolation:
+		t.oracleViolations++
 	}
 }
 
@@ -223,6 +227,7 @@ func (t *Tracker) Summary(end sim.Time, stranded int) *obs.ResilienceStats {
 		OverloadS:          overload.Seconds(),
 		ShedPackets:        t.sheds,
 		RetryDeferrals:     t.retryDeferrals,
+		OracleViolations:   t.oracleViolations,
 	}
 	if len(t.ttrs) > 0 {
 		var sum, max time.Duration

@@ -82,12 +82,48 @@ func TestHopCountReachesSink(t *testing.T) {
 		nodes = append(nodes, &topology.Node{ID: packet.NodeID(i), Pos: vec.V3{Z: float64(i-1) * 700}})
 	}
 	net := network(t, nodes)
-	hops, ok := HopCount(net, 5, 10)
-	if !ok || hops != 4 {
-		t.Errorf("HopCount = %d, %v; want 4 hops to sink", hops, ok)
+	hops, out := HopCount(net, 5, 10)
+	if out != HopReached || hops != 4 {
+		t.Errorf("HopCount = %d, %v; want 4 hops to sink", hops, out)
 	}
-	if _, ok := HopCount(net, 5, 2); ok {
-		t.Error("HopCount exceeded maxHops but reported success")
+	// A budget smaller than the path is exhaustion, not a dead end.
+	if hops, out := HopCount(net, 5, 2); out != HopBudgetExceeded || hops != 2 {
+		t.Errorf("HopCount under budget = %d, %v; want 2 hops, budget-exceeded", hops, out)
+	}
+}
+
+func TestHopCountDeadEndReportsHopsWalked(t *testing.T) {
+	// 2 routes to 1 (700 m shallower, in range); 1 is stuck: nothing in
+	// range is shallower or a sink. The walk takes exactly one hop.
+	net := network(t, []*topology.Node{
+		{ID: 1, Pos: vec.V3{Z: 700}},
+		{ID: 2, Pos: vec.V3{Z: 1400}},
+	})
+	hops, out := HopCount(net, 2, 10)
+	if out != HopNoRoute || hops != 1 {
+		t.Errorf("HopCount to dead end = %d, %v; want 1 hop walked, no-route", hops, out)
+	}
+	// A stuck starting node walks zero hops.
+	if hops, out := HopCount(net, 1, 10); out != HopNoRoute || hops != 0 {
+		t.Errorf("HopCount from stuck node = %d, %v; want 0 hops, no-route", hops, out)
+	}
+	// An unknown starting node is a zero-hop no-route, not a panic.
+	if hops, out := HopCount(net, 99, 10); out != HopNoRoute || hops != 0 {
+		t.Errorf("HopCount from unknown node = %d, %v; want 0 hops, no-route", hops, out)
+	}
+}
+
+func TestHopCountOutcomeStrings(t *testing.T) {
+	for _, c := range []struct {
+		o    HopOutcome
+		want string
+	}{
+		{HopReached, "reached"}, {HopNoRoute, "no-route"},
+		{HopBudgetExceeded, "budget-exceeded"}, {HopOutcome(42), "HopOutcome(42)"},
+	} {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("HopOutcome(%d).String() = %q, want %q", int(c.o), got, c.want)
+		}
 	}
 }
 
@@ -107,8 +143,8 @@ func TestDeployedNetworkFullyRouted(t *testing.T) {
 		if _, ok := NextHop(net, n.ID); !ok {
 			t.Errorf("node %v has no route", n.ID)
 		}
-		if hops, ok := HopCount(net, n.ID, 32); !ok {
-			t.Errorf("node %v cannot reach a sink (walked %d hops)", n.ID, hops)
+		if hops, out := HopCount(net, n.ID, 32); out != HopReached {
+			t.Errorf("node %v cannot reach a sink (%v after %d hops)", n.ID, out, hops)
 		}
 	}
 }
